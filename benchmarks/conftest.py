@@ -1,0 +1,60 @@
+"""Shared kernels for the benchmark suite.
+
+Each ``benchmarks/test_eNN_*.py`` file regenerates one experiment of
+DESIGN.md Sec. 4 under pytest-benchmark; ``python -m repro bench ENN``
+renders the corresponding comparison table with the same kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import pytest
+
+from repro.dynfo import DynFOEngine, Request, apply_request
+from repro.dynfo.program import DynFOProgram
+from repro.logic.structure import Structure
+
+
+def replay_dynamic(
+    program: DynFOProgram,
+    n: int,
+    script: Sequence[Request],
+    backend: str = "relational",
+) -> Callable[[], None]:
+    """A kernel replaying ``script`` on a fresh engine (the Dyn-FO arm)."""
+
+    def kernel() -> None:
+        engine = DynFOEngine(program, n, backend=backend)
+        for request in script:
+            engine.apply(request)
+
+    return kernel
+
+
+def replay_static(
+    program: DynFOProgram,
+    n: int,
+    script: Sequence[Request],
+    recompute,
+) -> Callable[[], None]:
+    """A kernel applying requests to a raw input structure and recomputing
+    the answer from scratch after each (the static arm)."""
+
+    def kernel() -> None:
+        inputs = Structure.initial(program.input_vocabulary, n)
+        for request in script:
+            apply_request(inputs, request, program.symmetric_inputs)
+            recompute(inputs)
+
+    return kernel
+
+
+@pytest.fixture
+def bench(benchmark):
+    """Benchmark with tame defaults for our second-scale kernels."""
+
+    def run(kernel):
+        return benchmark.pedantic(kernel, rounds=3, iterations=1, warmup_rounds=1)
+
+    return run

@@ -1,0 +1,27 @@
+"""E1 — PARITY (Example 3.2): maintained parity bit vs recount."""
+
+import pytest
+
+from repro.programs import make_parity_program
+from repro.workloads import bitflip_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_parity_program()
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, bitflip_script(n, 20, seed=1)))
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_static_recount(bench, n):
+    bench(
+        replay_static(
+            PROGRAM,
+            n,
+            bitflip_script(n, 20, seed=1),
+            lambda inputs: len(inputs.relation_view("M")) % 2 == 1,
+        )
+    )

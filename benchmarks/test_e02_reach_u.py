@@ -1,0 +1,30 @@
+"""E2 — REACH_u (Theorem 4.1): spanning forest vs all-pairs recompute."""
+
+import pytest
+
+from repro.baselines import reachable_pairs_undirected
+from repro.programs import make_reach_u_program
+from repro.workloads import undirected_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_reach_u_program()
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, undirected_script(n, 20, seed=2)))
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_static_all_pairs(bench, n):
+    bench(
+        replay_static(
+            PROGRAM,
+            n,
+            undirected_script(n, 20, seed=2),
+            lambda inputs: reachable_pairs_undirected(
+                inputs.n, inputs.relation_view("E")
+            ),
+        )
+    )

@@ -1,0 +1,28 @@
+"""E3 — REACH(acyclic) (Theorem 4.2): path relation vs DFS closure."""
+
+import pytest
+
+from repro.baselines import transitive_closure
+from repro.programs import make_reach_acyclic_program
+from repro.workloads import dag_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_reach_acyclic_program()
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, dag_script(n, 25, seed=3)))
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_static_closure(bench, n):
+    bench(
+        replay_static(
+            PROGRAM,
+            n,
+            dag_script(n, 25, seed=3),
+            lambda inputs: transitive_closure(inputs.n, inputs.relation_view("E")),
+        )
+    )

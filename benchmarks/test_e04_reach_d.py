@@ -1,0 +1,43 @@
+"""E4 — REACH_d (Example 2.1 + Prop 5.3): transferred engine vs walk."""
+
+import pytest
+
+from repro.baselines import deterministic_reachable
+from repro.dynfo import apply_request
+from repro.logic.structure import Structure
+from repro.programs import make_reach_d_engine
+from repro.workloads import reach_d_script
+
+
+@pytest.mark.parametrize("n", [6, 8])
+def test_transferred_updates(bench, n):
+    script = reach_d_script(n, 20, seed=4)
+
+    def kernel():
+        engine = make_reach_d_engine(n)
+        for request in script:
+            engine.apply(request)
+            engine.ask("reach")
+
+    bench(kernel)
+
+
+@pytest.mark.parametrize("n", [6, 8])
+def test_static_walk(bench, n):
+    from repro.reductions import reduction_d_to_u
+
+    source = reduction_d_to_u().source
+    script = reach_d_script(n, 20, seed=4)
+
+    def kernel():
+        inputs = Structure.initial(source, n)
+        for request in script:
+            apply_request(inputs, request)
+            deterministic_reachable(
+                n,
+                set(inputs.relation_view("E")),
+                inputs.constant("s"),
+                inputs.constant("t"),
+            )
+
+    bench(kernel)

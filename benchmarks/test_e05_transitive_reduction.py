@@ -1,0 +1,30 @@
+"""E5 — Transitive reduction (Corollary 4.3) vs closure-based recompute."""
+
+import pytest
+
+from repro.baselines import transitive_reduction_dag
+from repro.programs import make_transitive_reduction_program
+from repro.workloads import dag_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_transitive_reduction_program()
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, dag_script(n, 20, seed=5)))
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_static_reduction(bench, n):
+    bench(
+        replay_static(
+            PROGRAM,
+            n,
+            dag_script(n, 20, seed=5),
+            lambda inputs: transitive_reduction_dag(
+                inputs.n, set(inputs.relation_view("E"))
+            ),
+        )
+    )

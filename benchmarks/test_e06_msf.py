@@ -1,0 +1,30 @@
+"""E6 — Minimum spanning forest (Theorem 4.4) vs Kruskal."""
+
+import pytest
+
+from repro.baselines import kruskal_msf
+from repro.programs import make_msf_program
+from repro.workloads import weighted_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_msf_program()
+
+
+def _kruskal(inputs):
+    rows = inputs.relation_view("Ew")
+    return kruskal_msf(
+        inputs.n,
+        {(u, v) for (u, v, w) in rows},
+        {(u, v): w for (u, v, w) in rows if u < v},
+    )
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, weighted_script(n, 15, seed=6)))
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_static_kruskal(bench, n):
+    bench(replay_static(PROGRAM, n, weighted_script(n, 15, seed=6), _kruskal))

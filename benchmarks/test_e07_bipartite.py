@@ -1,0 +1,28 @@
+"""E7 — Bipartiteness (Theorem 4.5(1)) vs BFS 2-coloring."""
+
+import pytest
+
+from repro.baselines import is_bipartite
+from repro.programs import make_bipartite_program
+from repro.workloads import undirected_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_bipartite_program()
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, undirected_script(n, 20, seed=7)))
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_static_two_coloring(bench, n):
+    bench(
+        replay_static(
+            PROGRAM,
+            n,
+            undirected_script(n, 20, seed=7),
+            lambda inputs: is_bipartite(inputs.n, inputs.relation_view("E")),
+        )
+    )

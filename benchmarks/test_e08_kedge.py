@@ -1,0 +1,40 @@
+"""E8 — k-edge connectivity (Theorem 4.5(2)): composed FO query vs max-flow."""
+
+import pytest
+
+from repro.baselines import is_k_edge_connected
+from repro.dynfo import DynFOEngine, apply_request
+from repro.logic.structure import Structure
+from repro.programs import KEdgeAnalyzer, make_kedge_program
+from repro.workloads import undirected_script
+
+PROGRAM = make_kedge_program()
+N = 6
+SCRIPT = undirected_script(N, 18, seed=8, p_delete=0.3)
+
+
+def _warm_engine():
+    engine = DynFOEngine(PROGRAM, N)
+    for request in SCRIPT:
+        engine.apply(request)
+    return engine
+
+
+def _edges():
+    inputs = Structure.initial(PROGRAM.input_vocabulary, N)
+    for request in SCRIPT:
+        apply_request(inputs, request, PROGRAM.symmetric_inputs)
+    return set(inputs.relation_view("E"))
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_composed_fo_query(bench, k):
+    engine = _warm_engine()
+    analyzer = KEdgeAnalyzer(engine, max_deletions=k - 1 if k > 1 else 0)
+    bench(lambda: analyzer.is_k_edge_connected(k))
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_static_min_cut(bench, k):
+    edges = _edges()
+    bench(lambda: is_k_edge_connected(N, edges, k))

@@ -1,0 +1,37 @@
+"""E9 — Maximal matching (Theorem 4.5(3)) vs greedy rebuild."""
+
+import pytest
+
+from repro.programs import make_matching_program
+from repro.workloads import bounded_degree_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_matching_program()
+
+
+def _greedy(inputs):
+    matched, matching = set(), set()
+    for (u, v) in sorted(inputs.relation_view("E")):
+        if u != v and u not in matched and v not in matched:
+            matching.add((u, v))
+            matched.update((u, v))
+    return matching
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_dynfo_updates(bench, n):
+    bench(
+        replay_dynamic(
+            PROGRAM, n, bounded_degree_script(n, 25, max_degree=3, seed=9)
+        )
+    )
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_static_greedy_rebuild(bench, n):
+    bench(
+        replay_static(
+            PROGRAM, n, bounded_degree_script(n, 25, max_degree=3, seed=9), _greedy
+        )
+    )

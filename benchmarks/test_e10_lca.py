@@ -1,0 +1,30 @@
+"""E10 — LCA in directed forests (Theorem 4.5(4)) vs ancestor walks."""
+
+import pytest
+
+from repro.baselines import forest_lca
+from repro.programs import make_lca_program
+from repro.workloads import forest_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_lca_program()
+
+
+def _all_pairs(inputs):
+    edges = set(inputs.relation_view("E"))
+    return {
+        (x, y, forest_lca(inputs.n, edges, x, y))
+        for x in range(inputs.n)
+        for y in range(inputs.n)
+    }
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, forest_script(n, 25, seed=10)))
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_static_all_pairs(bench, n):
+    bench(replay_static(PROGRAM, n, forest_script(n, 25, seed=10), _all_pairs))

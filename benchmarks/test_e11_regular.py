@@ -1,0 +1,38 @@
+"""E11 — Regular languages (Theorem 4.6): interval table vs DFA re-run."""
+
+import pytest
+
+from repro.baselines import alternating_dfa, mod_counter_dfa, substring_dfa
+from repro.programs import make_regular_program
+from repro.programs.regular import symbol_relation
+from repro.workloads import word_edit_script
+
+from .conftest import replay_dynamic, replay_static
+
+DFAS = {
+    "mod3": mod_counter_dfa(3),
+    "ab_star": alternating_dfa(),
+    "contains_aba": substring_dfa(["a", "b", "a"], ["a", "b"]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DFAS))
+def test_dynfo_updates(bench, name):
+    dfa = DFAS[name]
+    program = make_regular_program(dfa, name=name)
+    bench(replay_dynamic(program, 12, word_edit_script(dfa, 12, 25, seed=11)))
+
+
+@pytest.mark.parametrize("name", sorted(DFAS))
+def test_static_rerun(bench, name):
+    dfa = DFAS[name]
+    program = make_regular_program(dfa, name=name)
+
+    def rerun(inputs):
+        word = [None] * inputs.n
+        for symbol in dfa.alphabet:
+            for (p,) in inputs.relation_view(symbol_relation(symbol)):
+                word[p] = symbol
+        return dfa.run(word)
+
+    bench(replay_static(program, 12, word_edit_script(dfa, 12, 25, seed=11), rerun))

@@ -1,0 +1,29 @@
+"""E12 — Multiplication (Proposition 4.7): FO carry updates vs remultiply."""
+
+import pytest
+
+from repro.baselines import bits_to_int
+from repro.programs import make_multiplication_program
+from repro.workloads import number_bit_script
+
+from .conftest import replay_dynamic, replay_static
+
+PROGRAM = make_multiplication_program()
+
+
+@pytest.mark.parametrize("n", [16, 24])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, number_bit_script(n, 30, seed=12)))
+
+
+@pytest.mark.parametrize("n", [16, 24])
+def test_static_remultiply(bench, n):
+    bench(
+        replay_static(
+            PROGRAM,
+            n,
+            number_bit_script(n, 30, seed=12),
+            lambda inputs: bits_to_int(inputs.relation_view("X"))
+            * bits_to_int(inputs.relation_view("Y")),
+        )
+    )

@@ -1,0 +1,33 @@
+"""E13 — Dyck language D^2 (Proposition 4.8): level shifts vs re-parse."""
+
+import pytest
+
+from repro.baselines import dyck_check
+from repro.programs import make_dyck_program
+from repro.programs.dyck import left_relation, right_relation
+from repro.workloads import dyck_edit_script
+
+from .conftest import replay_dynamic, replay_static
+
+K = 2
+PROGRAM = make_dyck_program(K)
+
+
+def _reparse(inputs):
+    word = {}
+    for t in range(1, K + 1):
+        for (p,) in inputs.relation_view(left_relation(t)):
+            word[p] = ("L", t)
+        for (p,) in inputs.relation_view(right_relation(t)):
+            word[p] = ("R", t)
+    return dyck_check(word)
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_dynfo_updates(bench, n):
+    bench(replay_dynamic(PROGRAM, n, dyck_edit_script(K, n, 25, seed=13)))
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_static_reparse(bench, n):
+    bench(replay_static(PROGRAM, n, dyck_edit_script(K, n, 25, seed=13), _reparse))

@@ -1,0 +1,43 @@
+"""E14 — PAD(REACH_a) (Theorem 5.14): staged FO steps vs full fixpoint."""
+
+import random
+
+import pytest
+
+from repro.baselines import alternating_reaches
+from repro.dynfo import DynFOEngine
+from repro.programs import make_pad_reach_a_program
+from repro.workloads import PadAdversary
+
+N = 6
+PROGRAM = make_pad_reach_a_program()
+
+
+def test_per_request_fo_step(bench):
+    def kernel():
+        engine = DynFOEngine(PROGRAM, N)
+        adversary = PadAdversary(N)
+        rng = random.Random(14)
+        for _ in range(N):
+            engine.set_const("s", 0)
+        for _ in range(4):
+            for request in adversary.random_batch(rng):
+                engine.apply(request)
+            engine.ask("pad_member")
+
+    bench(kernel)
+
+
+def test_static_full_fixpoint_per_real_change(bench):
+    adversary = PadAdversary(N)
+    rng = random.Random(14)
+    for _ in range(6):
+        adversary.random_batch(rng)
+
+    def kernel():
+        for _ in range(4):
+            alternating_reaches(
+                N, adversary.edges, adversary.universal, adversary.s, adversary.t
+            )
+
+    bench(kernel)

@@ -1,0 +1,20 @@
+"""E15 — Evaluator ablation: naive vs relational vs dense on REACH_u."""
+
+import pytest
+
+from repro.programs import make_reach_u_program
+from repro.workloads import undirected_script
+
+from .conftest import replay_dynamic
+
+PROGRAM = make_reach_u_program()
+
+
+@pytest.mark.parametrize("backend", ["naive", "relational", "dense"])
+def test_small_universe(bench, backend):
+    bench(replay_dynamic(PROGRAM, 6, undirected_script(6, 12, seed=15), backend))
+
+
+@pytest.mark.parametrize("backend", ["relational", "dense"])
+def test_medium_universe(bench, backend):
+    bench(replay_dynamic(PROGRAM, 10, undirected_script(10, 12, seed=15), backend))

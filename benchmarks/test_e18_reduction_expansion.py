@@ -1,0 +1,12 @@
+"""E18 — Bounded expansion of I_{d-u} (Definition 5.1)."""
+
+from repro.reductions import measure_expansion, reduction_d_to_u
+
+
+def test_expansion_measurement(bench):
+    def kernel():
+        report = measure_expansion(reduction_d_to_u(), n=6, trials=40, seed=18)
+        assert report.max_delta <= 6
+        return report.max_delta
+
+    bench(kernel)

@@ -1,0 +1,35 @@
+"""E19 — history independence of per-request cost (REACH_u)."""
+
+from repro.dynfo import DynFOEngine
+from repro.programs import make_reach_u_program
+from repro.workloads import undirected_script
+
+PROGRAM = make_reach_u_program()
+N = 10
+
+
+def _warm(steps):
+    engine = DynFOEngine(PROGRAM, N)
+    for request in undirected_script(N, steps, seed=19):
+        engine.apply(request)
+    return engine
+
+
+def test_requests_early_in_history(bench):
+    tail = undirected_script(N, 130, seed=19)[110:]
+
+    def kernel():
+        engine = _warm(110)
+        for request in tail:
+            engine.apply(request)
+
+    bench(kernel)
+
+
+def test_work_accounting_is_exposed(bench):
+    def kernel():
+        engine = _warm(30)
+        assert engine.last_update_stats["tuples_written"] >= 0
+        return engine.last_update_stats
+
+    bench(kernel)

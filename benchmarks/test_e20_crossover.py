@@ -1,0 +1,40 @@
+"""E20 — query-frequency crossover: maintained lookup vs per-query BFS."""
+
+from repro.baselines import same_component
+from repro.dynfo import DynFOEngine, apply_request
+from repro.logic.structure import Structure
+from repro.programs import make_reach_u_program
+from repro.workloads import undirected_script
+
+PROGRAM = make_reach_u_program()
+N = 10
+SCRIPT = undirected_script(N, 30, seed=20)
+PAIRS = [(a, b) for a in range(0, N, 2) for b in range(1, N, 2)]
+
+
+def test_maintained_lookup(bench):
+    engine = DynFOEngine(PROGRAM, N)
+    for request in SCRIPT:
+        engine.apply(request)
+    structure = engine.structure
+
+    def kernel():
+        return [
+            a == b or structure.holds("PV", (a, b, a)) for (a, b) in PAIRS
+        ]
+
+    bench(kernel)
+
+
+def test_static_per_query_recompute(bench):
+    inputs = Structure.initial(PROGRAM.input_vocabulary, N)
+    for request in SCRIPT:
+        apply_request(inputs, request, PROGRAM.symmetric_inputs)
+    edges = inputs.relation_view("E")
+
+    def kernel():
+        return [
+            same_component(N, edges).connected(a, b) for (a, b) in PAIRS
+        ]
+
+    bench(kernel)

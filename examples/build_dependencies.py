@@ -1,0 +1,68 @@
+"""Scenario: a build system's dependency DAG under refactoring.
+
+Targets and their dependencies change constantly; two maintained views
+(both pure first-order updates, both *not* static-FO queries):
+
+* "does A (transitively) depend on B?" — acyclic REACH (Theorem 4.2);
+* the pruned dependency graph — the transitive reduction (Corollary 4.3),
+  i.e. the edges a build file actually needs to declare.
+
+Run:  python examples/build_dependencies.py
+"""
+
+from repro import DynFOEngine, make_transitive_reduction_program
+
+TARGETS = ["app", "ui", "core", "net", "json", "base", "tests", "docs"]
+INDEX = {name: i for i, name in enumerate(TARGETS)}
+
+
+def main() -> None:
+    engine = DynFOEngine(make_transitive_reduction_program(), len(TARGETS))
+
+    def declare(a: str, b: str) -> None:
+        engine.insert("E", INDEX[a], INDEX[b])
+
+    def remove(a: str, b: str) -> None:
+        engine.delete("E", INDEX[a], INDEX[b])
+
+    def depends(a: str, b: str) -> bool:
+        return (INDEX[a], INDEX[b]) in engine.query("paths")
+
+    def minimal_edges() -> list[str]:
+        return sorted(
+            f"{TARGETS[u]} -> {TARGETS[v]}" for (u, v) in engine.query("tr")
+        )
+
+    print("== declared dependencies ==")
+    for a, b in [
+        ("app", "ui"), ("ui", "core"), ("core", "base"),
+        ("app", "core"),        # redundant: app -> ui -> core
+        ("core", "json"), ("json", "base"),
+        ("net", "base"), ("app", "net"),
+        ("tests", "app"), ("docs", "app"),
+    ]:
+        declare(a, b)
+        print(f"  {a} -> {b}")
+
+    print("\napp depends on base?  ", depends("app", "base"))
+    print("docs depends on json? ", depends("docs", "json"))
+    print("net depends on json?  ", depends("net", "json"))
+
+    print("\nminimal build file (transitive reduction):")
+    for edge in minimal_edges():
+        print(f"  {edge}")
+    print("note: 'app -> core' was pruned automatically (redundant),")
+    print("and 'core -> base' too (core -> json -> base covers it).")
+
+    print("\n== refactor: core stops using json ==")
+    remove("core", "json")
+    print("core depends on base? ", depends("core", "base"))
+    print("minimal build file now:")
+    for edge in minimal_edges():
+        print(f"  {edge}")
+    print("'core -> base' was *promoted* back: with json gone it is the")
+    print("only remaining route, exactly Corollary 4.3's delete case.")
+
+
+if __name__ == "__main__":
+    main()

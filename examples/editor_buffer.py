@@ -1,0 +1,96 @@
+"""Scenario: live syntax feedback in an editor buffer.
+
+Each keystroke is a single-position update; two checks stay current through
+first-order updates only:
+
+* bracket balance over two bracket types — the Dyck language D^2
+  (Proposition 4.8);
+* a lexical rule "identifiers alternate a/b starting with a" — a regular
+  language via the interval-composition table of Theorem 4.6.
+
+Run:  python examples/editor_buffer.py
+"""
+
+from repro import DynFOEngine, make_dyck_program, make_regular_program
+from repro.baselines import alternating_dfa
+from repro.programs.dyck import left_relation, right_relation
+from repro.programs.regular import symbol_relation
+
+WIDTH = 12
+
+
+class BracketBuffer:
+    """A WIDTH-cell buffer holding (), [] tokens with live balance checks."""
+
+    GLYPHS = {("L", 1): "(", ("R", 1): ")", ("L", 2): "[", ("R", 2): "]"}
+    TOKENS = {glyph: token for token, glyph in GLYPHS.items()}
+
+    def __init__(self) -> None:
+        self.engine = DynFOEngine(make_dyck_program(2), WIDTH)
+        self.cells: dict[int, tuple[str, int]] = {}
+
+    def type_char(self, position: int, glyph: str) -> None:
+        if position in self.cells:
+            self.erase(position)
+        side, ptype = self.TOKENS[glyph]
+        rel = left_relation(ptype) if side == "L" else right_relation(ptype)
+        self.engine.insert(rel, position)
+        self.cells[position] = (side, ptype)
+
+    def erase(self, position: int) -> None:
+        if position not in self.cells:
+            return
+        side, ptype = self.cells.pop(position)
+        rel = left_relation(ptype) if side == "L" else right_relation(ptype)
+        self.engine.delete(rel, position)
+
+    def render(self) -> str:
+        return "".join(
+            self.GLYPHS.get(self.cells.get(i), "·") for i in range(WIDTH)
+        )
+
+    def status(self) -> str:
+        return "balanced" if self.engine.ask("member") else "UNBALANCED"
+
+
+def bracket_demo() -> None:
+    print("== live bracket matching (Dyck D^2, Prop 4.8) ==")
+    buffer = BracketBuffer()
+    for position, glyph in [(0, "("), (1, "["), (4, "]"), (6, ")")]:
+        buffer.type_char(position, glyph)
+        print(f"  {buffer.render()}   {buffer.status()}")
+    buffer.type_char(4, ")")  # oops: wrong closer
+    print(f"  {buffer.render()}   {buffer.status()}  <- type mismatch")
+    buffer.type_char(4, "]")
+    print(f"  {buffer.render()}   {buffer.status()}")
+    buffer.erase(0)
+    print(f"  {buffer.render()}   {buffer.status()}  <- dangling closers")
+    print()
+
+
+def lexical_demo() -> None:
+    print("== lexical rule (ab)* (regular, Thm 4.6) ==")
+    dfa = alternating_dfa()
+    engine = DynFOEngine(make_regular_program(dfa, name="ab_star"), WIDTH)
+    word: dict[int, str] = {}
+
+    def put(position: int, symbol: str) -> None:
+        if position in word:
+            engine.delete(symbol_relation(word.pop(position)), position)
+        engine.insert(symbol_relation(symbol), position)
+        word[position] = symbol
+        text = "".join(word.get(i, "·") for i in range(WIDTH))
+        verdict = "ok" if engine.ask("accepted") else "REJECT"
+        print(f"  {text}   {verdict}")
+
+    put(0, "a")
+    put(3, "b")   # gaps are fine: the word reads "ab"
+    put(5, "a")
+    put(9, "b")   # "abab"
+    put(5, "b")   # "abbb" - breaks alternation
+    put(5, "a")   # fixed
+
+
+if __name__ == "__main__":
+    bracket_demo()
+    lexical_demo()

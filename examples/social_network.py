@@ -1,0 +1,96 @@
+"""Scenario: a social graph under churn — the database-flavoured workload
+the paper's introduction motivates ("a fairly large object being worked on
+over a period of time ... repeatedly modified by users").
+
+We maintain, purely with first-order updates:
+
+* community membership (REACH_u, Theorem 4.1) — "are Ann and Max in the
+  same friend cluster?";
+* a study-buddy pairing (maximal matching, Theorem 4.5(3)) that survives
+  friendships appearing and disappearing.
+
+Run:  python examples/social_network.py
+"""
+
+import random
+
+from repro import DynFOEngine, make_matching_program, make_reach_u_program
+
+PEOPLE = [
+    "ann", "bea", "cal", "dee", "eli", "fay", "gus", "hal", "ivy", "joe",
+]
+INDEX = {name: i for i, name in enumerate(PEOPLE)}
+
+
+def name_of(i: int) -> str:
+    return PEOPLE[i]
+
+
+def main() -> None:
+    n = len(PEOPLE)
+    communities = DynFOEngine(make_reach_u_program(), n)
+    buddies = DynFOEngine(make_matching_program(), n)
+
+    def befriend(a: str, b: str) -> None:
+        communities.insert("E", INDEX[a], INDEX[b])
+        buddies.insert("E", INDEX[a], INDEX[b])
+
+    def unfriend(a: str, b: str) -> None:
+        communities.delete("E", INDEX[a], INDEX[b])
+        buddies.delete("E", INDEX[a], INDEX[b])
+
+    def same_community(a: str, b: str) -> bool:
+        return communities.ask("reach", s=INDEX[a], t=INDEX[b])
+
+    def current_pairs() -> list[tuple[str, str]]:
+        pairs = {
+            tuple(sorted((name_of(u), name_of(v))))
+            for (u, v) in buddies.query("matching")
+        }
+        return sorted(pairs)
+
+    print("== initial friendships ==")
+    for a, b in [("ann", "bea"), ("bea", "cal"), ("dee", "eli"),
+                 ("fay", "gus"), ("gus", "hal"), ("ivy", "joe")]:
+        befriend(a, b)
+        print(f"  {a} <-> {b}")
+
+    print("\nann ~ cal (via bea)?", same_community("ann", "cal"))
+    print("ann ~ joe?          ", same_community("ann", "joe"))
+    print("study pairs:", current_pairs())
+
+    print("\n== churn ==")
+    befriend("cal", "dee")
+    print("  cal <-> dee   (merges two clusters)")
+    print("  ann ~ eli now?", same_community("ann", "eli"))
+
+    unfriend("bea", "cal")
+    print("  bea x cal     (splits them again?)")
+    print("  ann ~ eli now?", same_community("ann", "eli"),
+          "(no other bridge)")
+
+    unfriend("fay", "gus")
+    print("  fay x gus     (fay's buddy pairing repairs itself)")
+    print("  study pairs:", current_pairs())
+
+    print("\n== a burst of random churn, answers stay exact ==")
+    rng = random.Random(7)
+    for _ in range(30):
+        a, b = rng.sample(PEOPLE, 2)
+        if rng.random() < 0.5:
+            befriend(a, b)
+        else:
+            unfriend(a, b)
+    clusters: dict[str, list[str]] = {}
+    for person in PEOPLE:
+        root = next(
+            (other for other in PEOPLE if same_community(person, other)),
+            person,
+        )
+        clusters.setdefault(root, []).append(person)
+    print("clusters:", sorted(clusters.values(), key=len, reverse=True))
+    print("pairs:   ", current_pairs())
+
+
+if __name__ == "__main__":
+    main()

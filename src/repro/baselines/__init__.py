@@ -1,0 +1,83 @@
+"""From-scratch (static) algorithms: verification oracles and the
+"recompute everything" arm of every benchmark.
+
+Nothing in this package touches the FO machinery — these are classical
+imperative implementations (union-find, BFS, Kruskal, Edmonds-Karp, KMP,
+stack parsing, fixpoint iteration), so agreement with the Dyn-FO programs
+is evidence for both sides.
+"""
+
+from .alternating import (
+    alternating_reachable,
+    alternating_reaches,
+    fixpoint_iterations,
+)
+from .arithmetic import bits_to_int, int_to_bits, school_multiply_bits
+from .automata import (
+    DFA,
+    EPSILON,
+    alternating_dfa,
+    group_product_dfa,
+    mod_counter_dfa,
+    substring_dfa,
+)
+from .graphs import (
+    adjacency,
+    connected_components,
+    deterministic_reachable,
+    edge_connectivity,
+    forest_lca,
+    forest_parents,
+    is_acyclic,
+    is_bipartite,
+    is_k_edge_connected,
+    kruskal_msf,
+    matching_is_maximal,
+    matching_is_valid,
+    max_flow_min_cut,
+    odd_even_paths,
+    reachable_pairs_undirected,
+    same_component,
+    spanning_forest_is_valid,
+    transitive_closure,
+    transitive_reduction_dag,
+)
+from .strings import dyck_check, parity
+from .unionfind import DisjointSets
+
+__all__ = [
+    "DisjointSets",
+    "adjacency",
+    "connected_components",
+    "same_component",
+    "reachable_pairs_undirected",
+    "spanning_forest_is_valid",
+    "is_bipartite",
+    "odd_even_paths",
+    "transitive_closure",
+    "transitive_reduction_dag",
+    "is_acyclic",
+    "deterministic_reachable",
+    "max_flow_min_cut",
+    "edge_connectivity",
+    "is_k_edge_connected",
+    "kruskal_msf",
+    "forest_parents",
+    "forest_lca",
+    "matching_is_valid",
+    "matching_is_maximal",
+    "DFA",
+    "EPSILON",
+    "mod_counter_dfa",
+    "alternating_dfa",
+    "substring_dfa",
+    "group_product_dfa",
+    "dyck_check",
+    "parity",
+    "bits_to_int",
+    "int_to_bits",
+    "school_multiply_bits",
+    "alternating_reachable",
+    "alternating_reaches",
+    "fixpoint_iterations",
+]

@@ -1,0 +1,93 @@
+"""Alternating-graph reachability (REACH_a) — oracle for Theorem 5.14.
+
+An alternating graph marks some vertices as universal; a vertex x
+"alternating-reaches" the target t when
+
+* x = t, or
+* x is existential and some successor alternating-reaches t, or
+* x is universal, has at least one successor, and *all* successors
+  alternating-reach t.
+
+REACH_a is the canonical P-complete problem (it is CVAL in thin disguise:
+universal = AND gate, existential = OR gate).  The least fixpoint below
+converges within n iterations, which is what the padded Dyn-FO program's
+stage pipeline exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["alternating_reachable", "alternating_reaches", "fixpoint_iterations"]
+
+
+def _step(
+    n: int,
+    succ: list[set[int]],
+    universal: set[int],
+    target: int,
+    current: set[int],
+) -> set[int]:
+    out = set(current)
+    out.add(target)
+    for x in range(n):
+        if x in out:
+            continue
+        if not succ[x]:
+            continue
+        if x in universal:
+            if succ[x] <= current:
+                out.add(x)
+        elif succ[x] & current:
+            out.add(x)
+    return out
+
+
+def alternating_reachable(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    universal: Iterable[int],
+    target: int,
+) -> set[int]:
+    """The set of vertices that alternating-reach ``target``."""
+    succ: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        succ[u].add(v)
+    uni = set(universal)
+    current: set[int] = {target}
+    while True:
+        new = _step(n, succ, uni, target, current)
+        if new == current:
+            return current
+        current = new
+
+
+def alternating_reaches(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    universal: Iterable[int],
+    source: int,
+    target: int,
+) -> bool:
+    return source in alternating_reachable(n, edges, universal, target)
+
+
+def fixpoint_iterations(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    universal: Iterable[int],
+    target: int,
+) -> int:
+    """Number of iterations until the fixpoint stabilizes (<= n)."""
+    succ: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        succ[u].add(v)
+    uni = set(universal)
+    current: set[int] = {target}
+    iterations = 0
+    while True:
+        new = _step(n, succ, uni, target, current)
+        if new == current:
+            return iterations
+        current = new
+        iterations += 1

@@ -1,0 +1,46 @@
+"""Bit-array arithmetic helpers — oracle side of Proposition 4.7.
+
+The dynamic multiplication program stores numbers as unary bit relations;
+these helpers convert and recompute products from scratch (via Python
+bignums, which are an independent implementation path from the FO formulas).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["bits_to_int", "int_to_bits", "school_multiply_bits"]
+
+
+def bits_to_int(bits: Iterable[tuple[int, ...]] | Iterable[int]) -> int:
+    """Value of a set of bit positions (accepts {(i,), ...} or {i, ...})."""
+    value = 0
+    for bit in bits:
+        position = bit[0] if isinstance(bit, tuple) else bit
+        value |= 1 << position
+    return value
+
+
+def int_to_bits(value: int) -> set[tuple[int]]:
+    """Positions of one-bits, as 1-tuples (relation rows)."""
+    if value < 0:
+        raise ValueError("only nonnegative values have a bit relation")
+    out: set[tuple[int]] = set()
+    position = 0
+    while value:
+        if value & 1:
+            out.add((position,))
+        value >>= 1
+        position += 1
+    return out
+
+
+def school_multiply_bits(
+    x_bits: set[tuple[int]], y_bits: set[tuple[int]]
+) -> set[tuple[int]]:
+    """Long multiplication on bit sets — a second, bignum-free oracle."""
+    result = 0
+    y = bits_to_int(y_bits)
+    for (i,) in x_bits:
+        result += y << i
+    return int_to_bits(result)

@@ -1,0 +1,174 @@
+"""Deterministic finite automata — the oracle side of Theorem 4.6.
+
+A :class:`DFA` here uses integer states ``0..k-1`` with start state ``0``
+(relabel if needed); symbols are short identifier-safe strings.  ``run``
+executes the automaton from scratch on a word, which is the static
+recomputation arm of experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "DFA",
+    "mod_counter_dfa",
+    "alternating_dfa",
+    "substring_dfa",
+    "group_product_dfa",
+    "EPSILON",
+]
+
+# The dynamic problem lets a position hold no symbol at all; the DFA treats
+# such positions as skipped (the identity map on states).
+EPSILON = None
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete DFA over integer states with start state 0."""
+
+    num_states: int
+    alphabet: tuple[str, ...]
+    transitions: Mapping[tuple[int, str], int] = field(hash=False)
+    accepting: frozenset[int]
+
+    def __post_init__(self) -> None:
+        for symbol in self.alphabet:
+            for state in range(self.num_states):
+                target = self.transitions.get((state, symbol))
+                if target is None:
+                    raise ValueError(
+                        f"DFA incomplete: no transition ({state}, {symbol!r})"
+                    )
+                if not 0 <= target < self.num_states:
+                    raise ValueError(f"transition target {target} out of range")
+        if not self.accepting <= set(range(self.num_states)):
+            raise ValueError("accepting states out of range")
+
+    def step(self, state: int, symbol: str | None) -> int:
+        if symbol is EPSILON:
+            return state
+        return self.transitions[(state, symbol)]
+
+    def run(self, word: Iterable[str | None]) -> bool:
+        """Accept/reject ``word`` (None entries are skipped)."""
+        state = 0
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state in self.accepting
+
+
+def mod_counter_dfa(base: int, residue: int = 0, symbol: str = "one") -> DFA:
+    """Accepts words whose number of ``symbol`` occurrences is ``residue``
+    mod ``base`` (a canonical non-FO regular language for base >= 2)."""
+    transitions = {
+        (q, symbol): (q + 1) % base for q in range(base)
+    }
+    return DFA(
+        num_states=base,
+        alphabet=(symbol,),
+        transitions=transitions,
+        accepting=frozenset({residue}),
+    )
+
+
+def alternating_dfa() -> DFA:
+    """Accepts (ab)^* — strict alternation starting with 'a' (or empty).
+
+    States: 0 expect-a (accepting), 1 expect-b, 2 sink.
+    """
+    transitions = {
+        (0, "a"): 1,
+        (0, "b"): 2,
+        (1, "a"): 2,
+        (1, "b"): 0,
+        (2, "a"): 2,
+        (2, "b"): 2,
+    }
+    return DFA(3, ("a", "b"), transitions, frozenset({0}))
+
+
+def group_product_dfa(
+    generators: Mapping[str, Sequence[int]],
+    accept_identity_only: bool = True,
+) -> DFA:
+    """Iterated group multiplication as a regular language.
+
+    The paper's Corollary 5.12 builds on Barrington's theorem: iterated
+    multiplication over S_5 captures NC^1.  Each generator name maps to a
+    permutation (a tuple: image of each point); the DFA's states are the
+    group elements reachable from the identity, and a word is accepted iff
+    its product is the identity.  With S_3's generators this gives a
+    6-state automaton the Theorem 4.6 program maintains dynamically —
+    dynamic word-problem evaluation over a nonabelian group.
+    """
+    degree_set = {len(p) for p in generators.values()}
+    if len(degree_set) != 1:
+        raise ValueError("all generators must permute the same points")
+    (degree,) = degree_set
+    identity = tuple(range(degree))
+    for name, perm in generators.items():
+        if sorted(perm) != list(range(degree)):
+            raise ValueError(f"{name!r} is not a permutation: {perm}")
+
+    def compose(p: tuple[int, ...], q: Sequence[int]) -> tuple[int, ...]:
+        # apply p first, then q
+        return tuple(q[p[i]] for i in range(degree))
+
+    elements: list[tuple[int, ...]] = [identity]
+    index = {identity: 0}
+    frontier = [identity]
+    while frontier:
+        current = frontier.pop()
+        for perm in generators.values():
+            nxt = compose(current, tuple(perm))
+            if nxt not in index:
+                index[nxt] = len(elements)
+                elements.append(nxt)
+                frontier.append(nxt)
+    transitions = {
+        (index[element], name): index[compose(element, tuple(perm))]
+        for element in elements
+        for name, perm in generators.items()
+    }
+    accepting = (
+        frozenset({0})
+        if accept_identity_only
+        else frozenset(range(len(elements)))
+    )
+    return DFA(len(elements), tuple(sorted(generators)), transitions, accepting)
+
+
+def substring_dfa(pattern: Sequence[str], alphabet: Sequence[str]) -> DFA:
+    """Accepts words containing ``pattern`` as a (contiguous) substring,
+    via the KMP automaton."""
+    pattern = list(pattern)
+    if not pattern:
+        raise ValueError("pattern must be nonempty")
+    k = len(pattern)
+
+    def advance(matched: int, symbol: str) -> int:
+        while True:
+            if matched < k and pattern[matched] == symbol:
+                return matched + 1
+            if matched == 0:
+                return 0
+            # longest proper border of pattern[:matched] then retry
+            border = 0
+            prefix = pattern[:matched]
+            for length in range(matched - 1, 0, -1):
+                if prefix[:length] == prefix[matched - length:]:
+                    border = length
+                    break
+            matched = border
+
+    transitions: dict[tuple[int, str], int] = {}
+    for state in range(k + 1):
+        for symbol in alphabet:
+            if state == k:
+                transitions[(state, symbol)] = k  # absorbing accept
+            else:
+                transitions[(state, symbol)] = advance(state, symbol)
+    return DFA(k + 1, tuple(alphabet), transitions, frozenset({k}))

@@ -1,0 +1,389 @@
+"""From-scratch graph algorithms used as verification oracles.
+
+Everything here recomputes its answer from the raw edge set — no incremental
+state — so these functions double as the "static recomputation" arm of the
+benchmarks.  Undirected graphs are represented as a set of ordered pairs
+closed under symmetry, or as an arbitrary iterable of pairs which is
+symmetrized on entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+from .unionfind import DisjointSets
+
+__all__ = [
+    "adjacency",
+    "connected_components",
+    "reachable_pairs_undirected",
+    "same_component",
+    "spanning_forest_is_valid",
+    "is_bipartite",
+    "odd_even_paths",
+    "transitive_closure",
+    "transitive_reduction_dag",
+    "is_acyclic",
+    "deterministic_reachable",
+    "max_flow_min_cut",
+    "edge_connectivity",
+    "is_k_edge_connected",
+    "kruskal_msf",
+    "forest_parents",
+    "forest_lca",
+    "matching_is_valid",
+    "matching_is_maximal",
+]
+
+
+def adjacency(n: int, edges: Iterable[tuple[int, int]]) -> list[set[int]]:
+    """Symmetrized adjacency sets over the universe {0..n-1}."""
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        if u == v:
+            continue
+        adj[u].add(v)
+        adj[v].add(u)
+    return adj
+
+
+def connected_components(n: int, edges: Iterable[tuple[int, int]]) -> list[set[int]]:
+    sets = DisjointSets(range(n))
+    for u, v in edges:
+        sets.union(u, v)
+    return sets.components()
+
+
+def same_component(n: int, edges: Iterable[tuple[int, int]]) -> DisjointSets:
+    sets = DisjointSets(range(n))
+    for u, v in edges:
+        sets.union(u, v)
+    return sets
+
+
+def reachable_pairs_undirected(
+    n: int, edges: Iterable[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    """All ordered pairs (u, v), u != v, in the same component."""
+    pairs: set[tuple[int, int]] = set()
+    for component in connected_components(n, edges):
+        for u in component:
+            for v in component:
+                if u != v:
+                    pairs.add((u, v))
+    return pairs
+
+
+def spanning_forest_is_valid(
+    n: int,
+    edges: set[tuple[int, int]],
+    forest: set[tuple[int, int]],
+) -> bool:
+    """Is ``forest`` a spanning forest of the graph ``edges``?
+
+    Checks: forest edges are graph edges, the forest is acyclic, and it has
+    exactly one fewer edge than vertices per connected component (hence
+    spans).  Both edge sets are ordered-pair sets closed under symmetry.
+    """
+    if not forest <= edges:
+        return False
+    undirected = {frozenset(e) for e in forest if e[0] != e[1]}
+    sets = DisjointSets(range(n))
+    for edge in undirected:
+        u, v = tuple(edge)
+        if not sets.union(u, v):
+            return False  # cycle
+    graph_sets = same_component(n, edges)
+    # same partition into components <=> forest spans
+    for u in range(n):
+        for v in range(u + 1, n):
+            if graph_sets.connected(u, v) != sets.connected(u, v):
+                return False
+    return True
+
+
+def odd_even_paths(
+    n: int, edges: Iterable[tuple[int, int]]
+) -> tuple[set[tuple[int, int]], set[tuple[int, int]], bool]:
+    """BFS layering: (odd-distance-parity pairs, even pairs, bipartite?).
+
+    Pairs are computed per component from a 2-coloring attempt; the boolean
+    reports whether the whole graph is bipartite.
+    """
+    edges = list(edges)
+    adj = adjacency(n, edges)
+    color = [-1] * n
+    # a self-loop is an odd cycle
+    bipartite = all(u != v for u, v in edges)
+    for start in range(n):
+        if color[start] != -1:
+            continue
+        color[start] = 0
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if color[v] == -1:
+                    color[v] = color[u] ^ 1
+                    queue.append(v)
+                elif color[v] == color[u]:
+                    bipartite = False
+    odd: set[tuple[int, int]] = set()
+    even: set[tuple[int, int]] = set()
+    sets = same_component(n, edges)
+    for u in range(n):
+        for v in range(n):
+            if u != v and sets.connected(u, v):
+                if color[u] != color[v]:
+                    odd.add((u, v))
+                else:
+                    even.add((u, v))
+    return odd, even, bipartite
+
+
+def is_bipartite(n: int, edges: Iterable[tuple[int, int]]) -> bool:
+    return odd_even_paths(n, edges)[2]
+
+
+# -- directed graphs ------------------------------------------------------
+
+
+def transitive_closure(
+    n: int, edges: Iterable[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    """All pairs (u, v) with a nonempty directed path u -> v."""
+    succ: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        succ[u].add(v)
+    closure: set[tuple[int, int]] = set()
+    for start in range(n):
+        seen: set[int] = set()
+        stack = list(succ[start])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(succ[node])
+        closure.update((start, node) for node in seen)
+    return closure
+
+
+def is_acyclic(n: int, edges: Iterable[tuple[int, int]]) -> bool:
+    closure = transitive_closure(n, list(edges))
+    return all((v, v) not in closure for v in range(n))
+
+
+def transitive_reduction_dag(
+    n: int, edges: set[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    """Minimal subgraph of a DAG with the same transitive closure.
+
+    For DAGs the reduction is unique: keep edge (u, v) unless there is an
+    intermediate w with u ->+ w ->+ v.
+    """
+    closure = transitive_closure(n, edges)
+    reduction: set[tuple[int, int]] = set()
+    for u, v in edges:
+        redundant = any(
+            (u, w) in closure and (w, v) in closure
+            for w in range(n)
+            if w != u and w != v
+        )
+        if not redundant:
+            reduction.add((u, v))
+    return reduction
+
+
+def deterministic_reachable(
+    n: int, edges: set[tuple[int, int]], s: int, t: int
+) -> bool:
+    """REACH_d: is there a path s -> t using only vertices of out-degree 1?
+
+    A deterministic path may leave a vertex only along its unique outgoing
+    edge (Example 2.1 of the paper).
+    """
+    out: list[list[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        out[u].append(v)
+    node, seen = s, set()
+    while True:
+        if node == t:
+            return True
+        if node in seen or len(out[node]) != 1:
+            return False
+        seen.add(node)
+        node = out[node][0]
+
+
+# -- cuts and connectivity ---------------------------------------------------
+
+
+def max_flow_min_cut(
+    n: int, edges: Iterable[tuple[int, int]], s: int, t: int
+) -> int:
+    """Edmonds-Karp max flow with unit capacities per undirected edge =
+    the number of edge-disjoint s-t paths = min s-t edge cut."""
+    capacity: dict[tuple[int, int], int] = {}
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        if u == v:
+            continue
+        capacity[(u, v)] = 1
+        capacity[(v, u)] = 1
+        adj[u].add(v)
+        adj[v].add(u)
+    flow = 0
+    while True:
+        parent = [-1] * n
+        parent[s] = s
+        queue = deque([s])
+        while queue and parent[t] == -1:
+            u = queue.popleft()
+            for v in adj[u]:
+                if parent[v] == -1 and capacity.get((u, v), 0) > 0:
+                    parent[v] = u
+                    queue.append(v)
+        if parent[t] == -1:
+            return flow
+        node = t
+        while node != s:
+            prev = parent[node]
+            capacity[(prev, node)] -= 1
+            capacity[(node, prev)] = capacity.get((node, prev), 0) + 1
+            node = prev
+        flow += 1
+
+
+def edge_connectivity(n: int, edges: set[tuple[int, int]]) -> int:
+    """Global edge connectivity of the undirected graph (0 if disconnected
+    or fewer than two active vertices)."""
+    vertices = sorted({u for e in edges for u in e})
+    if len(vertices) < 2:
+        return 0
+    components = same_component(n, edges)
+    if any(
+        not components.connected(vertices[0], v) for v in vertices[1:]
+    ):
+        return 0
+    source = vertices[0]
+    return min(max_flow_min_cut(n, edges, source, t) for t in vertices[1:])
+
+
+def is_k_edge_connected(
+    n: int, edges: set[tuple[int, int]], k: int
+) -> bool:
+    """Are all pairs of *active* vertices connected by >= k edge-disjoint
+    paths?  Matches the paper's query: after deleting any k-1 edges, every
+    pair that was connected stays connected — restricted to vertices that
+    touch an edge.  Vacuously true with fewer than two active vertices."""
+    vertices = sorted({u for e in edges for u in e})
+    if len(vertices) < 2:
+        return True
+    source = vertices[0]
+    return all(
+        max_flow_min_cut(n, edges, source, t) >= k for t in vertices[1:]
+    )
+
+
+# -- weighted forests ----------------------------------------------------------
+
+
+def kruskal_msf(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    weight: Mapping[tuple[int, int], int],
+) -> tuple[int, set[frozenset[int]]]:
+    """Kruskal's algorithm.  Returns (total weight, forest as vertex pairs).
+
+    Ties are broken by (weight, min endpoint, max endpoint), mirroring the
+    ordering-based tie-break of Theorem 4.4, so the forest is unique.
+    """
+    undirected = {frozenset((u, v)) for u, v in edges if u != v}
+
+    def key(edge: frozenset[int]) -> tuple[int, int, int]:
+        u, v = sorted(edge)
+        return (weight[(u, v)], u, v)
+
+    sets = DisjointSets(range(n))
+    forest: set[frozenset[int]] = set()
+    total = 0
+    for edge in sorted(undirected, key=key):
+        u, v = sorted(edge)
+        if sets.union(u, v):
+            forest.add(edge)
+            total += weight[(u, v)]
+    return total, forest
+
+
+# -- rooted forests --------------------------------------------------------------
+
+
+def forest_parents(
+    n: int, edges: set[tuple[int, int]]
+) -> list[int | None]:
+    """Parent map of a directed forest given parent->child edges.
+
+    Raises ValueError if any vertex has two parents or a cycle exists.
+    """
+    parent: list[int | None] = [None] * n
+    for u, v in edges:
+        if parent[v] is not None:
+            raise ValueError(f"vertex {v} has two parents")
+        parent[v] = u
+    for start in range(n):
+        node, hops = parent[start], 0
+        while node is not None:
+            node = parent[node]
+            hops += 1
+            if hops > n:
+                raise ValueError("cycle in claimed forest")
+    return parent
+
+
+def forest_lca(
+    n: int, edges: set[tuple[int, int]], x: int, y: int
+) -> int | None:
+    """Lowest common ancestor of x and y in a directed forest (edges point
+    parent -> child).  A vertex is its own ancestor.  None if disjoint."""
+    parent = forest_parents(n, edges)
+    ancestors: list[int] = []
+    node: int | None = x
+    while node is not None:
+        ancestors.append(node)
+        node = parent[node]
+    ancestor_set = set(ancestors)
+    node = y
+    while node is not None:
+        if node in ancestor_set:
+            return node
+        node = parent[node]
+    return None
+
+
+# -- matchings ---------------------------------------------------------------------
+
+
+def matching_is_valid(
+    edges: set[tuple[int, int]], matching: set[tuple[int, int]]
+) -> bool:
+    """Matching edges are graph edges and vertex-disjoint (symmetric sets)."""
+    undirected = {frozenset(e) for e in matching if e[0] != e[1]}
+    if not matching <= edges:
+        return False
+    used: set[int] = set()
+    for edge in undirected:
+        u, v = tuple(edge)
+        if u in used or v in used:
+            return False
+        used.update((u, v))
+    return True
+
+
+def matching_is_maximal(
+    edges: set[tuple[int, int]], matching: set[tuple[int, int]]
+) -> bool:
+    """No graph edge can be added: every edge touches a matched vertex."""
+    matched = {u for e in matching for u in e}
+    return all(u in matched or v in matched for u, v in edges if u != v)

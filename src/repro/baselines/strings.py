@@ -1,0 +1,35 @@
+"""String oracles: Dyck-language parsing and bit-parity.
+
+``dyck_check`` parses a sparse word (position -> token) with an explicit
+stack — the from-scratch arm of experiment E13.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["dyck_check", "parity"]
+
+
+def dyck_check(word: Mapping[int, tuple[str, int]]) -> bool:
+    """Is the word a balanced string over k parenthesis types?
+
+    ``word`` maps position -> ("L" | "R", type); missing positions are
+    empty.  Standard stack parse.
+    """
+    stack: list[int] = []
+    for position in sorted(word):
+        side, ptype = word[position]
+        if side == "L":
+            stack.append(ptype)
+        elif side == "R":
+            if not stack or stack.pop() != ptype:
+                return False
+        else:
+            raise ValueError(f"bad token {word[position]!r}")
+    return not stack
+
+
+def parity(bits) -> bool:
+    """Odd number of one-bits?"""
+    return len(set(bits)) % 2 == 1

@@ -1,0 +1,59 @@
+"""Disjoint-set forests (union-find) with path compression and union by rank.
+
+Used as the from-scratch oracle for connectivity-flavoured problems and as
+the classical-algorithm arm of the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["DisjointSets"]
+
+
+class DisjointSets:
+    """Standard union-find over arbitrary hashable items."""
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def find(self, item: Hashable) -> Hashable:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        return self.find(a) == self.find(b)
+
+    def components(self) -> list[set[Hashable]]:
+        groups: dict[Hashable, set[Hashable]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), set()).add(item)
+        return list(groups.values())
+
+    def __len__(self) -> int:
+        return len(self._parent)

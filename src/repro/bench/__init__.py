@@ -1,0 +1,6 @@
+"""Benchmark harness and the experiment suite E1-E18 (DESIGN.md Sec. 4)."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .harness import Table, crossover, time_per_step
+
+__all__ = ["EXPERIMENTS", "run_experiment", "Table", "crossover", "time_per_step"]

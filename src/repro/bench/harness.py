@@ -1,0 +1,75 @@
+"""Experiment harness: timed arms, tables, crossover detection.
+
+The paper is a theory paper with no numeric tables, so DESIGN.md defines the
+experiment suite E1-E18 that quantifies its claims.  Every experiment
+produces a :class:`Table`; ``python -m repro bench E2`` renders it, and the
+``benchmarks/`` pytest-benchmark files time the same kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Table", "time_per_step", "crossover"]
+
+
+@dataclass
+class Table:
+    """A rendered experiment result (our stand-in for a paper table)."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *row: object) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row width {len(row)} != {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        headers = [str(c) for c in self.columns]
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            for note_line in self.notes.strip().splitlines():
+                lines.append(f"  {note_line.strip()}")
+        return "\n".join(lines)
+
+
+def time_per_step(step: Callable[[], None], repeats: int) -> float:
+    """Average seconds per call of ``step`` over ``repeats`` calls."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        step()
+    return (time.perf_counter() - start) / max(repeats, 1)
+
+
+def crossover(
+    xs: Iterable[float], dynamic: Iterable[float], static: Iterable[float]
+) -> float | None:
+    """First x at which the dynamic arm is at least as fast as the static
+    arm, or None if it never is within the sweep."""
+    for x, d, s in zip(xs, dynamic, static):
+        if d <= s:
+            return x
+    return None

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro`` / ``dynfo``.
+
+Subcommands
+-----------
+
+``list``
+    List the paper's programs with their theorem and metric summary.
+``bench E2 [E5 ...] [--full]``
+    Run experiments from DESIGN.md Sec. 4 and print their tables
+    (``all`` runs the whole suite).
+``verify reach_u [--n 8] [--steps 120] [--seed 0]``
+    Replay a randomized workload against the from-scratch oracle.
+``demo``
+    A tiny REACH_u session showing the update formulas at work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .bench import EXPERIMENTS, run_experiment
+from .dynfo.oracles import (
+    bipartite_checker,
+    connectivity_checker,
+    lca_checker,
+    matching_checker,
+    msf_checker,
+    parity_checker,
+    paths_checker,
+    product_checker,
+    spanning_forest_checker,
+    transitive_reduction_checker,
+)
+from .dynfo.verify import exact_relation_checker, verify_program
+from .programs import PROGRAM_FACTORIES
+from .workloads import (
+    bitflip_script,
+    bounded_degree_script,
+    dag_script,
+    forest_script,
+    number_bit_script,
+    undirected_script,
+    weighted_script,
+)
+
+# program name -> (script maker, oracle checkers)
+_VERIFIABLE = {
+    "parity": (bitflip_script, [parity_checker()]),
+    "prefix_parity": (
+        bitflip_script,
+        [
+            exact_relation_checker(
+                "prefixes",
+                lambda inputs: {
+                    (p,)
+                    for p in range(inputs.n)
+                    if len(
+                        [1 for (o,) in inputs.relation_view("M") if o <= p]
+                    )
+                    % 2
+                    == 1
+                },
+            )
+        ],
+    ),
+    "reach_u": (
+        undirected_script,
+        [connectivity_checker(), spanning_forest_checker()],
+    ),
+    "reach_u_arity2": (undirected_script, [connectivity_checker()]),
+    "reach_acyclic": (dag_script, [paths_checker()]),
+    "transitive_reduction": (
+        dag_script,
+        [paths_checker(), transitive_reduction_checker()],
+    ),
+    "msf": (weighted_script, [msf_checker()]),
+    "bipartite": (undirected_script, [bipartite_checker()]),
+    "matching": (
+        lambda n, steps, seed: bounded_degree_script(n, steps, seed=seed),
+        [matching_checker()],
+    ),
+    "lca": (forest_script, [lca_checker()]),
+    "multiplication": (number_bit_script, [product_checker()]),
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print(f"{'program':<22} {'depth':>5} {'rank':>4} {'arity':>5}  notes")
+    print("-" * 88)
+    for name, factory in sorted(PROGRAM_FACTORIES.items()):
+        program = factory()
+        note = program.notes.split(".  ")[0].split(": ")[0].rstrip(".")
+        print(
+            f"{name:<22} {program.max_connective_depth():>5} "
+            f"{program.max_quantifier_rank():>4} {program.aux_arity():>5}  {note}"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = list(args.experiments)
+    if not names or [n.lower() for n in names] == ["all"]:
+        names = list(EXPERIMENTS)
+    for name in names:
+        start = time.perf_counter()
+        table = run_experiment(name, quick=not args.full)
+        elapsed = time.perf_counter() - start
+        print(table.render())
+        print(f"  [{elapsed:.1f}s]")
+        print()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    name = args.program
+    if name not in _VERIFIABLE:
+        print(
+            f"no scripted oracle for {name!r}; choose from "
+            f"{', '.join(sorted(_VERIFIABLE))}",
+            file=sys.stderr,
+        )
+        return 2
+    script_maker, checkers = _VERIFIABLE[name]
+    program = PROGRAM_FACTORIES[name]()
+    script = script_maker(args.n, args.steps, seed=args.seed)
+    start = time.perf_counter()
+    verify_program(program, args.n, script, checkers)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{name}: {len(script)} requests on n={args.n} verified against the "
+        f"from-scratch oracle after every request ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from .dynfo import DynFOEngine
+    from .logic import format_formula
+    from .programs import make_reach_u_program
+
+    program = make_reach_u_program()
+    print("REACH_u update formulas (Theorem 4.1):")
+    for kind, rules in (("insert", program.on_insert), ("delete", program.on_delete)):
+        for rel, rule in rules.items():
+            print(f"\non {kind}({rel}, a, b):")
+            for temp in rule.temporaries:
+                print(f"  [temp] {temp.name}({', '.join(temp.frame)}) :=")
+                print(f"      {format_formula(temp.formula)}")
+            for definition in rule.definitions:
+                print(f"  {definition.name}'({', '.join(definition.frame)}) :=")
+                print(f"      {format_formula(definition.formula)}")
+    engine = DynFOEngine(program, 8)
+    for (u, v) in [(0, 1), (1, 2), (4, 5)]:
+        engine.insert("E", u, v)
+    print("\nafter ins(E,0,1), ins(E,1,2), ins(E,4,5):")
+    print("  reach(0, 2) =", engine.ask("reach", s=0, t=2))
+    print("  reach(0, 5) =", engine.ask("reach", s=0, t=5))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dynfo",
+        description=(
+            "Reproduction of Patnaik & Immerman, 'Dyn-FO: A Parallel, "
+            "Dynamic Complexity Class' (PODS 1994)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper's programs").set_defaults(
+        fn=_cmd_list
+    )
+
+    bench = sub.add_parser("bench", help="run experiments E1..E18")
+    bench.add_argument("experiments", nargs="*", help="experiment ids or 'all'")
+    bench.add_argument("--full", action="store_true", help="bigger sweeps")
+    bench.set_defaults(fn=_cmd_bench)
+
+    verify = sub.add_parser("verify", help="oracle-verify a program")
+    verify.add_argument("program", help="program name (see 'list')")
+    verify.add_argument("--n", type=int, default=7, help="universe size")
+    verify.add_argument("--steps", type=int, default=80, help="request count")
+    verify.add_argument("--seed", type=int, default=0, help="workload seed")
+    verify.set_defaults(fn=_cmd_verify)
+
+    sub.add_parser("demo", help="print REACH_u's formulas, run a session").set_defaults(
+        fn=_cmd_demo
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

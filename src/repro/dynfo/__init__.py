@@ -1,0 +1,81 @@
+"""Dynamic complexity machinery: Dyn-FO programs, engine, verification.
+
+This package is the executable form of Section 3 of the paper: the request
+alphabet (Eq. 3.1), Dyn-FO programs as bundles of first-order update rules
+(Definition 3.1), the synchronous update engine, and the replay/oracle
+verification harness used throughout the tests.
+"""
+
+from .compose import compose_rule
+from .engine import BACKENDS, DynFOEngine, UnsupportedRequest
+from .semidynamic import semidynamic
+from .persistence import (
+    PersistenceError,
+    load_engine,
+    save_engine,
+    structure_from_dict,
+    structure_to_dict,
+)
+from .program import (
+    DynFOProgram,
+    ProgramError,
+    Query,
+    RelationDef,
+    UpdateRule,
+    inline_temporaries,
+)
+from .requests import (
+    Delete,
+    Insert,
+    Operation,
+    Request,
+    SetConst,
+    apply_request,
+    evaluate_script,
+    script_from_json,
+    script_to_json,
+)
+from .verify import (
+    OracleChecker,
+    ReplayHarness,
+    VerificationError,
+    check_memoryless,
+    exact_boolean_checker,
+    exact_relation_checker,
+    verify_program,
+)
+
+__all__ = [
+    "DynFOEngine",
+    "BACKENDS",
+    "UnsupportedRequest",
+    "DynFOProgram",
+    "ProgramError",
+    "compose_rule",
+    "inline_temporaries",
+    "semidynamic",
+    "save_engine",
+    "load_engine",
+    "structure_to_dict",
+    "structure_from_dict",
+    "PersistenceError",
+    "Query",
+    "RelationDef",
+    "UpdateRule",
+    "Request",
+    "Insert",
+    "Delete",
+    "SetConst",
+    "Operation",
+    "apply_request",
+    "evaluate_script",
+    "script_to_json",
+    "script_from_json",
+    "OracleChecker",
+    "ReplayHarness",
+    "VerificationError",
+    "verify_program",
+    "check_memoryless",
+    "exact_boolean_checker",
+    "exact_relation_checker",
+]

@@ -1,0 +1,74 @@
+"""Symbolic composition of update rules.
+
+The k-edge-connectivity query of Theorem 4.5(2) is answered by "composing
+the Dyn-FO formula (for a single deletion) k times": the level-i formulas
+define each auxiliary relation after i hypothetical deletions with
+parameters ``a_i``, ``b_i``, entirely as first-order formulas over the
+*current* auxiliary structure.  :func:`compose_rule` builds those formulas
+using capture-avoiding second-order substitution.
+"""
+
+from __future__ import annotations
+
+from ..logic.syntax import Const, Formula
+from ..logic.transform import substitute_constants, substitute_relations
+from .program import UpdateRule
+
+__all__ = ["compose_rule", "rule_from_composition"]
+
+
+def compose_rule(
+    rule: UpdateRule,
+    levels: int,
+    param_namer=lambda base, level: f"{base}{level}",
+) -> dict[str, tuple[tuple[str, ...], Formula]]:
+    """Apply ``rule`` symbolically ``levels`` times.
+
+    Returns ``{relation: (frame, formula)}`` where the formula describes the
+    relation after ``levels`` applications of the rule with parameters
+    renamed per level (``a -> a1, a2, ...``).  Relations the rule does not
+    define pass through unchanged.
+    """
+    if levels < 0:
+        raise ValueError("levels must be >= 0")
+    from ..logic.syntax import Atom
+
+    current: dict[str, tuple[tuple[str, ...], Formula]] = {}
+    for level in range(1, levels + 1):
+        renames = {
+            base: Const(param_namer(base, level)) for base in rule.params
+        }
+        layer: dict[str, tuple[tuple[str, ...], Formula]] = {}
+        for definition in rule.definitions:
+            formula = substitute_constants(definition.formula, renames)
+            if current:
+                formula = substitute_relations(formula, current)
+            layer[definition.name] = (definition.frame, formula)
+        merged = dict(current)
+        merged.update(layer)
+        current = merged
+    return current
+
+
+def rule_from_composition(
+    rule: UpdateRule,
+    levels: int,
+    param_namer=lambda base, level: f"{base}{level}",
+) -> UpdateRule:
+    """Package ``levels`` symbolic applications of ``rule`` as a single
+    :class:`UpdateRule` — the engine behind extended operation sets (Note
+    3.3): an operation "apply this rule k times" becomes one simultaneous
+    first-order step with k-fold parameters ``a1, b1, .., ak, bk``."""
+    from .program import RelationDef, inline_temporaries
+
+    composed = compose_rule(inline_temporaries(rule), levels, param_namer)
+    params = tuple(
+        param_namer(base, level)
+        for level in range(1, levels + 1)
+        for base in rule.params
+    )
+    definitions = tuple(
+        RelationDef(name, frame, formula)
+        for name, (frame, formula) in composed.items()
+    )
+    return UpdateRule(params=params, definitions=definitions)

@@ -1,0 +1,250 @@
+"""The Dyn-FO execution engine.
+
+Maintains the auxiliary structure ``f(r-bar)`` of Definition 3.1 and applies
+the program's first-order update rules per request, with the paper's
+*simultaneous* (synchronous) semantics: every primed relation is computed
+against the pre-update structure, then all are swapped in atomically.
+
+Three evaluation backends are available (see DESIGN.md E15):
+
+* ``"relational"`` — database-style join planning (default, fastest in
+  typical sparse cases);
+* ``"dense"`` — vectorized boolean tensors, a literal CRAM[1] simulation;
+* ``"naive"`` — brute-force reference semantics (small n only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..logic.dense import DenseEvaluator
+from ..logic.evaluation import naive_query
+from ..logic.relational import RelationalEvaluator
+from ..logic.structure import Structure
+from ..logic.syntax import Const, Formula, Lit, Term
+from ..logic.transform import substitute
+from .program import DynFOProgram, Query, UpdateRule
+from .requests import Delete, Insert, Operation, Request, SetConst, apply_request
+
+__all__ = ["DynFOEngine", "BACKENDS", "UnsupportedRequest"]
+
+
+class UnsupportedRequest(ValueError):
+    """Raised when a program has no rule for the given request kind."""
+
+
+class _NaiveBackend:
+    """Adapter giving the naive evaluator the backend interface."""
+
+    def __init__(self, structure: Structure, params: Mapping[str, int]) -> None:
+        self.structure = structure
+        self.params = params
+
+    def rows(self, formula: Formula, frame: tuple[str, ...]) -> set[tuple[int, ...]]:
+        return naive_query(formula, self.structure, frame, self.params)
+
+    def truth(self, sentence: Formula) -> bool:
+        return bool(naive_query(sentence, self.structure, (), self.params))
+
+
+BACKENDS: dict[str, Callable[..., object]] = {
+    "relational": RelationalEvaluator,
+    "dense": DenseEvaluator,
+    "naive": _NaiveBackend,
+}
+
+
+class DynFOEngine:
+    """Runs one :class:`DynFOProgram` at a fixed universe size ``n``."""
+
+    def __init__(
+        self,
+        program: DynFOProgram,
+        n: int,
+        backend: str = "relational",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; pick from {sorted(BACKENDS)}")
+        self.program = program
+        self.n = n
+        self.backend_name = backend
+        self._backend_cls = BACKENDS[backend]
+        self.structure = program.initial(n)
+        if self.structure.vocabulary != program.aux_vocabulary:
+            raise ValueError("initial structure has the wrong vocabulary")
+        if self.structure.n != n:
+            raise ValueError("initial structure has the wrong universe size")
+        self.requests_applied = 0
+        # work accounting for the last request: how many auxiliary tuples
+        # the simultaneous FO step produced (the "parallel work" measure
+        # used by experiment E19's history-independence check)
+        self.last_update_stats: dict[str, int] = {
+            "relations_redefined": 0,
+            "tuples_written": 0,
+            "temporary_tuples": 0,
+        }
+
+    # -- request application -----------------------------------------------------
+
+    def insert(self, rel: str, *tup: int) -> None:
+        self.apply(Insert(rel, tuple(tup)))
+
+    def delete(self, rel: str, *tup: int) -> None:
+        self.apply(Delete(rel, tuple(tup)))
+
+    def set_const(self, name: str, value: int) -> None:
+        self.apply(SetConst(name, value))
+
+    def apply(self, request: Request) -> None:
+        """Apply one request: evaluate all primed relations against the
+        current structure, then swap them in simultaneously.
+
+        The rule's temporaries (the paper's scratch relations such as T and
+        New) are evaluated first, in order, into a scratch expansion of the
+        pre-update structure that the primed definitions then read."""
+        rule, params, mirror = self._dispatch(request)
+        source = self.structure
+        temporary_tuples = 0
+        if rule.temporaries:
+            scratch_vocab = self.program.aux_vocabulary.extend(
+                relations=[(d.name, len(d.frame)) for d in rule.temporaries]
+            )
+            source = self.structure.expand(scratch_vocab)
+            scratch_eval = self._backend_cls(source, params)
+            for temp in rule.temporaries:
+                rows = scratch_eval.rows(temp.formula, temp.frame)
+                temporary_tuples += len(rows)
+                source.set_relation(temp.name, rows)
+        evaluator = self._backend_cls(source, params)
+        new_relations = {
+            definition.name: evaluator.rows(definition.formula, definition.frame)
+            for definition in rule.definitions
+        }
+        self.last_update_stats = {
+            "relations_redefined": len(new_relations),
+            "tuples_written": sum(len(rows) for rows in new_relations.values()),
+            "temporary_tuples": temporary_tuples,
+        }
+        defined = rule.defined_names()
+        for name, rows in new_relations.items():
+            self.structure.set_relation(name, rows)
+        if mirror is not None and mirror[1] not in defined:
+            # default maintenance of the input relation's auxiliary copy
+            kind, rel, tup = mirror
+            if self.program.aux_vocabulary.has_relation(rel):
+                if kind == "ins":
+                    self.structure.add(rel, tup)
+                else:
+                    self.structure.discard(rel, tup)
+        if isinstance(request, SetConst) and self.program.aux_vocabulary.has_constant(
+            request.name
+        ):
+            self.structure.set_constant(request.name, request.value)
+        if isinstance(request, Operation):
+            # default maintenance of input copies the rule leaves implicit
+            for basic in request.expansion:
+                if (
+                    isinstance(basic, (Insert, Delete))
+                    and basic.rel not in defined
+                    and self.program.aux_vocabulary.has_relation(basic.rel)
+                ):
+                    apply_request(
+                        self.structure, basic, self.program.symmetric_inputs
+                    )
+        self.requests_applied += 1
+
+    def _dispatch(self, request: Request):
+        program = self.program
+        if isinstance(request, Insert):
+            rule = program.on_insert.get(request.rel)
+            if rule is None:
+                raise UnsupportedRequest(
+                    f"{program.name} has no insert rule for {request.rel!r}"
+                )
+            params = dict(zip(rule.params, request.tup))
+            return rule, params, ("ins", request.rel, request.tup)
+        if isinstance(request, Delete):
+            rule = program.on_delete.get(request.rel)
+            if rule is None:
+                raise UnsupportedRequest(
+                    f"{program.name} has no delete rule for {request.rel!r}"
+                )
+            params = dict(zip(rule.params, request.tup))
+            return rule, params, ("del", request.rel, request.tup)
+        if isinstance(request, SetConst):
+            rule = program.on_set.get(request.name)
+            if rule is None:
+                raise UnsupportedRequest(
+                    f"{program.name} has no set rule for {request.name!r}"
+                )
+            return rule, {rule.params[0]: request.value}, None
+        if isinstance(request, Operation):
+            rule = program.on_operation.get(request.name)
+            if rule is None:
+                raise UnsupportedRequest(
+                    f"{program.name} has no operation rule for {request.name!r}"
+                )
+            if len(request.args) != len(rule.params):
+                raise UnsupportedRequest(
+                    f"operation {request.name!r} takes {len(rule.params)} "
+                    f"arguments, got {len(request.args)}"
+                )
+            return rule, dict(zip(rule.params, request.args)), None
+        raise TypeError(f"unknown request {request!r}")
+
+    def run(self, script) -> None:
+        """Apply a whole request script."""
+        for request in script:
+            self.apply(request)
+
+    # -- queries ----------------------------------------------------------------
+
+    def _get_query(self, name: str) -> Query:
+        try:
+            return self.program.queries[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.program.name} has no query {name!r}; "
+                f"available: {sorted(self.program.queries)}"
+            ) from None
+
+    def query(self, name: str, **params: int) -> set[tuple[int, ...]]:
+        """Evaluate a named query, returning its relation over its frame."""
+        query = self._get_query(name)
+        bound = {p: params[p] for p in query.params}
+        evaluator = self._backend_cls(self.structure, bound)
+        return evaluator.rows(query.formula, query.frame)
+
+    def ask(self, name: str, **params: int) -> bool:
+        """Evaluate a boolean query (empty frame)."""
+        query = self._get_query(name)
+        if query.frame:
+            raise ValueError(f"query {name!r} returns a relation; use query()")
+        bound = {p: params[p] for p in query.params}
+        evaluator = self._backend_cls(self.structure, bound)
+        return evaluator.truth(query.formula)
+
+    def holds_in(self, name: str, *tup: int) -> bool:
+        """Membership test against a relational query's result."""
+        query = self._get_query(name)
+        if len(tup) != len(query.frame):
+            raise ValueError(
+                f"query {name!r} has frame {query.frame}, got {len(tup)} args"
+            )
+        mapping: dict[str, Term] = {
+            var: Lit(value) for var, value in zip(query.frame, tup)
+        }
+        ground = substitute(query.formula, mapping)
+        evaluator = self._backend_cls(self.structure, {})
+        return evaluator.truth(ground)
+
+    # -- introspection -----------------------------------------------------------
+
+    def aux_snapshot(self) -> Structure:
+        """A copy of the current auxiliary structure (for memorylessness tests)."""
+        return self.structure.copy()
+
+    def input_snapshot(self) -> Structure:
+        """The input structure embedded in the auxiliary one (the reduct to
+        the input vocabulary), for oracle comparison."""
+        return self.structure.restrict(self.program.input_vocabulary)

@@ -1,0 +1,157 @@
+"""Ready-made oracle checkers for the paper's programs.
+
+Each checker compares a running :class:`~repro.dynfo.engine.DynFOEngine`
+against an independent from-scratch recomputation on the shadow input
+structure (see :mod:`repro.dynfo.verify`).  Shared by the test suite and
+the benchmark harness so both verify the same contracts.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    alternating_reaches,
+    bits_to_int,
+    deterministic_reachable,
+    forest_lca,
+    is_bipartite,
+    kruskal_msf,
+    matching_is_maximal,
+    matching_is_valid,
+    reachable_pairs_undirected,
+    spanning_forest_is_valid,
+    transitive_closure,
+    transitive_reduction_dag,
+)
+from ..logic.structure import Structure
+from .engine import DynFOEngine
+from .verify import (
+    OracleChecker,
+    VerificationError,
+    exact_boolean_checker,
+    exact_relation_checker,
+)
+
+__all__ = [
+    "parity_checker",
+    "connectivity_checker",
+    "spanning_forest_checker",
+    "paths_checker",
+    "transitive_reduction_checker",
+    "msf_checker",
+    "bipartite_checker",
+    "matching_checker",
+    "lca_checker",
+    "product_checker",
+]
+
+
+def parity_checker() -> OracleChecker:
+    return exact_boolean_checker(
+        "odd", lambda inputs: len(inputs.relation_view("M")) % 2 == 1
+    )
+
+
+def connectivity_checker(query: str = "connected") -> OracleChecker:
+    return exact_relation_checker(
+        query,
+        lambda inputs: reachable_pairs_undirected(
+            inputs.n, inputs.relation_view("E")
+        ),
+    )
+
+
+def spanning_forest_checker(query: str = "forest") -> OracleChecker:
+    def check(inputs: Structure, engine: DynFOEngine) -> None:
+        edges = set(inputs.relation_view("E"))
+        forest = engine.query(query)
+        if not spanning_forest_is_valid(inputs.n, edges, forest):
+            raise VerificationError(
+                f"{sorted(forest)} is not a spanning forest of {sorted(edges)}"
+            )
+
+    return check
+
+
+def paths_checker(query: str = "paths") -> OracleChecker:
+    return exact_relation_checker(
+        query,
+        lambda inputs: transitive_closure(inputs.n, inputs.relation_view("E")),
+    )
+
+
+def transitive_reduction_checker(query: str = "tr") -> OracleChecker:
+    return exact_relation_checker(
+        query,
+        lambda inputs: transitive_reduction_dag(
+            inputs.n, set(inputs.relation_view("E"))
+        ),
+    )
+
+
+def msf_checker(query: str = "forest") -> OracleChecker:
+    def check(inputs: Structure, engine: DynFOEngine) -> None:
+        rows = inputs.relation_view("Ew")
+        weight = {(u, v): w for (u, v, w) in rows if u < v}
+        edges = {(u, v) for (u, v, w) in rows}
+        _, forest = kruskal_msf(inputs.n, edges, weight)
+        got = {frozenset(e) for e in engine.query(query) if e[0] != e[1]}
+        if got != forest:
+            raise VerificationError(
+                f"forest {sorted(map(sorted, got))} != Kruskal "
+                f"{sorted(map(sorted, forest))} on {sorted(weight.items())}"
+            )
+
+    return check
+
+
+def bipartite_checker(query: str = "bipartite") -> OracleChecker:
+    return exact_boolean_checker(
+        query, lambda inputs: is_bipartite(inputs.n, inputs.relation_view("E"))
+    )
+
+
+def matching_checker(query: str = "matching") -> OracleChecker:
+    def check(inputs: Structure, engine: DynFOEngine) -> None:
+        edges = set(inputs.relation_view("E"))
+        matching = engine.query(query)
+        if not matching_is_valid(edges, matching):
+            raise VerificationError(
+                f"invalid matching {sorted(matching)} on {sorted(edges)}"
+            )
+        if not matching_is_maximal(edges, matching):
+            raise VerificationError(
+                f"non-maximal matching {sorted(matching)} on {sorted(edges)}"
+            )
+
+    return check
+
+
+def lca_checker(query: str = "lca") -> OracleChecker:
+    def check(inputs: Structure, engine: DynFOEngine) -> None:
+        edges = set(inputs.relation_view("E"))
+        got = engine.query(query)
+        by_pair: dict[tuple[int, int], set[int]] = {}
+        for (x, y, w) in got:
+            by_pair.setdefault((x, y), set()).add(w)
+        for x in range(inputs.n):
+            for y in range(inputs.n):
+                expected = forest_lca(inputs.n, edges, x, y)
+                want = set() if expected is None else {expected}
+                have = by_pair.get((x, y), set())
+                if have != want:
+                    raise VerificationError(
+                        f"lca({x}, {y}): want {want}, got {have}"
+                    )
+
+    return check
+
+
+def product_checker(query: str = "product_bits") -> OracleChecker:
+    def check(inputs: Structure, engine: DynFOEngine) -> None:
+        x = bits_to_int(inputs.relation_view("X"))
+        y = bits_to_int(inputs.relation_view("Y"))
+        got = bits_to_int(engine.query(query))
+        if got != x * y:
+            raise VerificationError(f"product {got} != {x} * {y}")
+
+    return check

@@ -1,0 +1,119 @@
+"""Persistence: snapshot auxiliary databases to JSON and restore them.
+
+A Dyn-FO engine's entire state *is* its auxiliary structure (Definition
+3.1's ``f(r-bar)``), so saving and restoring is plain relational
+serialization — the database-systems reading the paper starts from.
+
+``save_engine`` / ``load_engine`` snapshot a running engine; the loader
+re-validates that the stored vocabulary matches the program, so a snapshot
+cannot be replayed against the wrong program.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from ..logic.structure import Structure
+from ..logic.vocabulary import Vocabulary
+from .engine import DynFOEngine
+from .program import DynFOProgram
+
+__all__ = [
+    "structure_to_dict",
+    "structure_from_dict",
+    "save_engine",
+    "load_engine",
+    "PersistenceError",
+]
+
+_FORMAT = "repro.dynfo/1"
+
+
+class PersistenceError(ValueError):
+    """Raised on malformed or mismatched snapshots."""
+
+
+def structure_to_dict(structure: Structure) -> dict:
+    """A JSON-serializable description of a structure."""
+    return {
+        "n": structure.n,
+        "vocabulary": {
+            "relations": [
+                [rel.name, rel.arity] for rel in structure.vocabulary
+            ],
+            "constants": list(structure.vocabulary.constant_names()),
+        },
+        "relations": {
+            rel.name: sorted(structure.relation_view(rel.name))
+            for rel in structure.vocabulary
+        },
+        "constants": structure.constants(),
+    }
+
+
+def structure_from_dict(data: Mapping) -> Structure:
+    """Inverse of :func:`structure_to_dict`."""
+    try:
+        vocabulary = Vocabulary.make(
+            relations=[tuple(item) for item in data["vocabulary"]["relations"]],
+            constants=data["vocabulary"]["constants"],
+        )
+        return Structure(
+            vocabulary,
+            data["n"],
+            relations={
+                name: [tuple(row) for row in rows]
+                for name, rows in data["relations"].items()
+            },
+            constants=data["constants"],
+        )
+    except (KeyError, TypeError) as error:
+        raise PersistenceError(f"malformed structure snapshot: {error}") from error
+
+
+def save_engine(engine: DynFOEngine, path: str | Path) -> None:
+    """Snapshot ``engine`` (program identity + auxiliary database) to JSON."""
+    payload = {
+        "format": _FORMAT,
+        "program": engine.program.name,
+        "n": engine.n,
+        "backend": engine.backend_name,
+        "requests_applied": engine.requests_applied,
+        "structure": structure_to_dict(engine.structure),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_engine(
+    program: DynFOProgram, path: str | Path, backend: str | None = None
+) -> DynFOEngine:
+    """Restore an engine for ``program`` from a snapshot.
+
+    The snapshot must have been produced by the same-named program with the
+    same auxiliary vocabulary; requests applied afterwards continue exactly
+    where the saved run left off.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise PersistenceError(f"not a snapshot: {error}") from error
+    if payload.get("format") != _FORMAT:
+        raise PersistenceError(f"unknown snapshot format {payload.get('format')!r}")
+    if payload["program"] != program.name:
+        raise PersistenceError(
+            f"snapshot is for program {payload['program']!r}, not {program.name!r}"
+        )
+    structure = structure_from_dict(payload["structure"])
+    if structure.vocabulary != program.aux_vocabulary:
+        raise PersistenceError(
+            "snapshot vocabulary does not match the program's auxiliary "
+            "vocabulary"
+        )
+    engine = DynFOEngine(
+        program, payload["n"], backend=backend or payload["backend"]
+    )
+    engine.structure = structure
+    engine.requests_applied = payload["requests_applied"]
+    return engine

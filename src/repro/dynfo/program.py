@@ -1,0 +1,291 @@
+"""Dyn-FO programs: the (f, g) pair of Definition 3.1 in executable form.
+
+A :class:`DynFOProgram` packages
+
+* the input vocabulary ``sigma`` (what users insert into / delete from),
+* the auxiliary vocabulary ``tau`` (the data structure ``f(r-bar)``),
+* the FO-definable initial auxiliary structure ``f(empty)``,
+* one :class:`UpdateRule` per request kind — a set of first-order formulas
+  that *simultaneously* redefine auxiliary relations from their pre-update
+  values (the primed relations of Section 4), and
+* named first-order :class:`Query` objects answered from the auxiliary
+  structure alone.
+
+The update formulas may mention the request's components as symbolic
+constants (the paper's ``a``, ``b``); the engine binds them per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..logic.structure import Structure
+from ..logic.syntax import Formula
+from ..logic.transform import connective_depth, constants_of, free_vars, quantifier_rank
+from ..logic.vocabulary import Vocabulary
+
+__all__ = [
+    "RelationDef",
+    "UpdateRule",
+    "Query",
+    "DynFOProgram",
+    "ProgramError",
+    "inline_temporaries",
+]
+
+
+class ProgramError(ValueError):
+    """Raised on malformed Dyn-FO programs."""
+
+
+@dataclass(frozen=True)
+class RelationDef:
+    """``R'(frame) <-> formula`` — one primed auxiliary relation."""
+
+    name: str
+    frame: tuple[str, ...]
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        if len(set(self.frame)) != len(self.frame):
+            raise ProgramError(f"repeated variable in frame {self.frame}")
+
+
+@dataclass(frozen=True)
+class UpdateRule:
+    """The simultaneous FO update for one request kind.
+
+    ``params`` names the request components (e.g. ``("a", "b")`` for an edge
+    insert); they appear in the formulas as symbolic constants.  Auxiliary
+    relations without a :class:`RelationDef` are left unchanged, except that
+    the engine mirrors the request itself into a same-named auxiliary input
+    relation when present (the trivial ``E' = E u {(a,b)}`` maintenance that
+    the paper writes out explicitly).
+
+    ``temporaries`` are the paper's scratch relations ("We define a
+    temporary relation T ..."): they are evaluated *in order* against the
+    pre-update structure, each may reference the previous ones, and the
+    primed definitions may reference them all.  Semantically they are mere
+    abbreviations — :func:`inline_temporaries` substitutes them away,
+    yielding the equivalent pure first-order rule — but evaluating them once
+    per update instead of once per candidate tuple is an enormous speedup.
+    """
+
+    params: tuple[str, ...]
+    definitions: tuple[RelationDef, ...]
+    temporaries: tuple[RelationDef, ...] = ()
+
+    def defined_names(self) -> frozenset[str]:
+        return frozenset(d.name for d in self.definitions)
+
+    def temporary_names(self) -> frozenset[str]:
+        return frozenset(d.name for d in self.temporaries)
+
+
+def inline_temporaries(rule: UpdateRule) -> UpdateRule:
+    """Substitute every temporary away, producing a temporaries-free rule
+    defining the same update (used when composing rules symbolically)."""
+    from ..logic.transform import substitute_relations
+
+    expanded: dict[str, tuple[tuple[str, ...], "Formula"]] = {}
+    for temp in rule.temporaries:
+        formula = substitute_relations(temp.formula, expanded)
+        expanded[temp.name] = (temp.frame, formula)
+    definitions = tuple(
+        RelationDef(
+            d.name, d.frame, substitute_relations(d.formula, expanded)
+        )
+        for d in rule.definitions
+    )
+    return UpdateRule(params=rule.params, definitions=definitions)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A named FO query over the auxiliary structure.
+
+    With an empty frame it is a boolean query (a sentence); with a nonempty
+    frame it defines a relation.  ``params`` (if any) are bound per call,
+    e.g. ``reach(u, v)`` asked for specific vertices.
+    """
+
+    name: str
+    formula: Formula
+    frame: tuple[str, ...] = ()
+    params: tuple[str, ...] = ()
+
+
+@dataclass
+class DynFOProgram:
+    """An executable witness that a problem is in Dyn-FO (Definition 3.1)."""
+
+    name: str
+    input_vocabulary: Vocabulary
+    aux_vocabulary: Vocabulary
+    initial: Callable[[int], Structure]
+    on_insert: Mapping[str, UpdateRule] = field(default_factory=dict)
+    on_delete: Mapping[str, UpdateRule] = field(default_factory=dict)
+    on_set: Mapping[str, UpdateRule] = field(default_factory=dict)
+    # Note 3.3: an arbitrary extended operation alphabet, keyed by name;
+    # each rule's params name the operation's arguments.
+    on_operation: Mapping[str, UpdateRule] = field(default_factory=dict)
+    queries: Mapping[str, Query] = field(default_factory=dict)
+    precomputation: bool = False  # True -> this is a Dyn-FO+ program
+    # Binary input relations the program interprets symmetrically: a request
+    # ins/del(R, a, b) acts on both (a, b) and (b, a), as in Theorem 4.1
+    # ("we maintain the undirected nature of the graph by interpreting
+    # insert(E, a, b) ... to do the operation on both (a, b) and (b, a)").
+    symmetric_inputs: frozenset[str] = frozenset()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- static validation -------------------------------------------------
+
+    def validate(self) -> None:
+        """Check arities, frames, and that formulas only mention ``tau``
+        plus the rule's parameters — i.e., that updates really are
+        first-order over the auxiliary structure."""
+        for rel in self.input_vocabulary:
+            if rel.name not in self.on_insert and rel.arity > 0:
+                # a program may choose not to support some requests, but the
+                # common case is full support; no error, engines will raise.
+                pass
+        for kind, rules in (
+            ("insert", self.on_insert),
+            ("delete", self.on_delete),
+            ("set", self.on_set),
+        ):
+            for key, rule in rules.items():
+                if kind in ("insert", "delete"):
+                    if not self.input_vocabulary.has_relation(key):
+                        raise ProgramError(
+                            f"{kind} rule for unknown input relation {key!r}"
+                        )
+                    arity = self.input_vocabulary.arity(key)
+                    if len(rule.params) != arity:
+                        raise ProgramError(
+                            f"{kind} rule for {key!r} names {len(rule.params)} "
+                            f"params but the relation has arity {arity}"
+                        )
+                else:
+                    if not self.input_vocabulary.has_constant(key):
+                        raise ProgramError(f"set rule for unknown constant {key!r}")
+                    if len(rule.params) != 1:
+                        raise ProgramError("set rules take exactly one parameter")
+                self._validate_rule(kind, key, rule)
+        for key, rule in self.on_operation.items():
+            self._validate_rule("operation", key, rule)
+        for query in self.queries.values():
+            self._validate_formula(
+                f"query {query.name!r}",
+                query.formula,
+                frame=query.frame,
+                params=query.params,
+            )
+
+    def _validate_rule(self, kind: str, key: str, rule: UpdateRule) -> None:
+        temp_arities: dict[str, int] = {}
+        for temp in rule.temporaries:
+            if temp.name in temp_arities or self.aux_vocabulary.has_relation(
+                temp.name
+            ):
+                raise ProgramError(
+                    f"{kind} rule for {key!r}: temporary {temp.name!r} "
+                    "shadows another relation"
+                )
+            self._validate_formula(
+                f"{kind}({key}) temporary {temp.name!r}",
+                temp.formula,
+                frame=temp.frame,
+                params=rule.params,
+                extra_relations=dict(temp_arities),
+            )
+            temp_arities[temp.name] = len(temp.frame)
+        seen: set[str] = set()
+        for definition in rule.definitions:
+            if definition.name in seen:
+                raise ProgramError(
+                    f"{kind} rule for {key!r} defines {definition.name!r} twice"
+                )
+            seen.add(definition.name)
+            if not self.aux_vocabulary.has_relation(definition.name):
+                raise ProgramError(
+                    f"{kind} rule for {key!r} defines unknown auxiliary "
+                    f"relation {definition.name!r}"
+                )
+            arity = self.aux_vocabulary.arity(definition.name)
+            if len(definition.frame) != arity:
+                raise ProgramError(
+                    f"definition of {definition.name!r} has frame "
+                    f"{definition.frame} but arity {arity}"
+                )
+            self._validate_formula(
+                f"{kind}({key}) definition of {definition.name!r}",
+                definition.formula,
+                frame=definition.frame,
+                params=rule.params,
+                extra_relations=temp_arities,
+            )
+
+    def _validate_formula(
+        self,
+        where: str,
+        formula: Formula,
+        frame: Sequence[str],
+        params: Sequence[str],
+        extra_relations: Mapping[str, int] | None = None,
+    ) -> None:
+        from ..logic.transform import relations_of
+
+        loose = free_vars(formula) - set(frame)
+        if loose:
+            raise ProgramError(f"{where}: unbound variables {sorted(loose)}")
+        for rel in relations_of(formula):
+            if not self.aux_vocabulary.has_relation(rel) and rel not in (
+                extra_relations or {}
+            ):
+                raise ProgramError(
+                    f"{where}: mentions relation {rel!r} outside tau"
+                )
+        allowed = (
+            set(params)
+            | set(self.aux_vocabulary.constant_names())
+            | {"min", "max"}
+        )
+        for const in constants_of(formula):
+            if const not in allowed:
+                raise ProgramError(f"{where}: unknown constant {const!r}")
+
+    # -- metrics --------------------------------------------------------------
+
+    def max_quantifier_rank(self) -> int:
+        """Largest quantifier rank over all update and query formulas."""
+        return max(
+            (quantifier_rank(f) for f in self._all_formulas()), default=0
+        )
+
+    def max_connective_depth(self) -> int:
+        """Largest connective depth (parallel time per CRAM step)."""
+        return max(
+            (connective_depth(f) for f in self._all_formulas()), default=0
+        )
+
+    def _all_formulas(self) -> Iterable[Formula]:
+        for rules in (
+            self.on_insert,
+            self.on_delete,
+            self.on_set,
+            self.on_operation,
+        ):
+            for rule in rules.values():
+                for definition in rule.definitions:
+                    yield definition.formula
+        for query in self.queries.values():
+            yield query.formula
+
+    def aux_arity(self) -> int:
+        """Largest auxiliary-relation arity (the resource studied in [DS95])."""
+        return max((rel.arity for rel in self.aux_vocabulary), default=0)

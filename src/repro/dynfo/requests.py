@@ -1,0 +1,206 @@
+"""The request alphabet ``R_{n,sigma}`` of Definition 3.1 (Equation 3.1).
+
+A dynamic run is a finite sequence of requests: insert a tuple into an input
+relation, delete a tuple from an input relation, or set an input constant.
+``evaluate_script`` is the paper's ``eval_{n,sigma}``: the input structure a
+request sequence denotes, starting from the empty initial structure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.structure import Structure
+from ..logic.vocabulary import Vocabulary
+
+__all__ = [
+    "Request",
+    "Insert",
+    "Delete",
+    "SetConst",
+    "Operation",
+    "apply_request",
+    "evaluate_script",
+    "script_to_json",
+    "script_from_json",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class for requests."""
+
+    def apply_to(self, structure: Structure) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Insert(Request):
+    """``ins(i, a-bar)``: insert tuple ``tup`` into relation ``rel``."""
+
+    rel: str
+    tup: tuple[int, ...]
+
+    def __init__(self, rel: str, *tup: int) -> None:
+        object.__setattr__(self, "rel", rel)
+        if len(tup) == 1 and isinstance(tup[0], tuple):
+            tup = tup[0]
+        object.__setattr__(self, "tup", tuple(tup))
+
+    def apply_to(self, structure: Structure) -> None:
+        structure.add(self.rel, self.tup)
+
+    def __str__(self) -> str:
+        return f"ins({self.rel}, {', '.join(map(str, self.tup))})"
+
+
+@dataclass(frozen=True)
+class Delete(Request):
+    """``del(i, a-bar)``: delete tuple ``tup`` from relation ``rel``."""
+
+    rel: str
+    tup: tuple[int, ...]
+
+    def __init__(self, rel: str, *tup: int) -> None:
+        object.__setattr__(self, "rel", rel)
+        if len(tup) == 1 and isinstance(tup[0], tuple):
+            tup = tup[0]
+        object.__setattr__(self, "tup", tuple(tup))
+
+    def apply_to(self, structure: Structure) -> None:
+        structure.discard(self.rel, self.tup)
+
+    def __str__(self) -> str:
+        return f"del({self.rel}, {', '.join(map(str, self.tup))})"
+
+
+@dataclass(frozen=True)
+class SetConst(Request):
+    """``set(j, a)``: set input constant ``name`` to ``value``."""
+
+    name: str
+    value: int
+
+    def apply_to(self, structure: Structure) -> None:
+        structure.set_constant(self.name, self.value)
+
+    def __str__(self) -> str:
+        return f"set({self.name}, {self.value})"
+
+
+@dataclass(frozen=True)
+class Operation(Request):
+    """A compound request from an extended operation set (Note 3.3).
+
+    The paper observes that Dyn-C remains meaningful for *any* operation
+    alphabet, not just single-tuple inserts/deletes.  An ``Operation``
+    names a program-defined rule (see ``DynFOProgram.on_operation``) and
+    carries its arguments plus ``expansion`` — the equivalent sequence of
+    basic requests, which defines the operation's effect on the *input*
+    structure (used by shadow replay and oracles).  The program's rule must
+    implement the same effect in one simultaneous FO step; the tests check
+    the two against each other.
+    """
+
+    name: str
+    args: tuple[int, ...]
+    expansion: tuple[Request, ...]
+
+    def __init__(
+        self, name: str, args: Sequence[int], expansion: Sequence[Request]
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "expansion", tuple(expansion))
+
+    def apply_to(self, structure: Structure) -> None:
+        for request in self.expansion:
+            request.apply_to(structure)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+def apply_request(
+    structure: Structure,
+    request: Request,
+    symmetric: frozenset[str] | set[str] = frozenset(),
+) -> None:
+    """Apply ``request`` to ``structure``; relations listed in ``symmetric``
+    receive both orientations of their first two components (the paper's
+    undirected convention; extra components, e.g. a weight, ride along)."""
+    if isinstance(request, Operation):
+        for basic in request.expansion:
+            apply_request(structure, basic, symmetric)
+        return
+    request.apply_to(structure)
+    if (
+        isinstance(request, (Insert, Delete))
+        and request.rel in symmetric
+        and len(request.tup) >= 2
+    ):
+        tup = request.tup
+        mirrored = type(request)(request.rel, (tup[1], tup[0]) + tup[2:])
+        mirrored.apply_to(structure)
+
+
+def evaluate_script(
+    vocabulary: Vocabulary,
+    n: int,
+    script: Iterable[Request],
+    symmetric: frozenset[str] | set[str] = frozenset(),
+) -> Structure:
+    """``eval_{n,sigma}``: the input structure denoted by ``script``."""
+    structure = Structure.initial(vocabulary, n)
+    for request in script:
+        apply_request(structure, request, symmetric)
+    return structure
+
+
+# -- serialization -------------------------------------------------------
+
+
+def _request_to_item(request: Request) -> dict:
+    if isinstance(request, Insert):
+        return {"op": "ins", "rel": request.rel, "tup": list(request.tup)}
+    if isinstance(request, Delete):
+        return {"op": "del", "rel": request.rel, "tup": list(request.tup)}
+    if isinstance(request, SetConst):
+        return {"op": "set", "name": request.name, "value": request.value}
+    if isinstance(request, Operation):
+        return {
+            "op": "operation",
+            "name": request.name,
+            "args": list(request.args),
+            "expansion": [_request_to_item(r) for r in request.expansion],
+        }
+    raise TypeError(f"unknown request {request!r}")  # pragma: no cover
+
+
+def _request_from_item(item: dict) -> Request:
+    op = item["op"]
+    if op == "ins":
+        return Insert(item["rel"], tuple(item["tup"]))
+    if op == "del":
+        return Delete(item["rel"], tuple(item["tup"]))
+    if op == "set":
+        return SetConst(item["name"], item["value"])
+    if op == "operation":
+        return Operation(
+            item["name"],
+            tuple(item["args"]),
+            tuple(_request_from_item(sub) for sub in item["expansion"]),
+        )
+    raise ValueError(f"unknown request op {op!r}")
+
+
+def script_to_json(script: Sequence[Request]) -> str:
+    """Serialize a request script to a JSON string."""
+    return json.dumps([_request_to_item(request) for request in script])
+
+
+def script_from_json(text: str) -> list[Request]:
+    """Inverse of :func:`script_to_json`."""
+    return [_request_from_item(item) for item in json.loads(text)]

@@ -1,0 +1,37 @@
+"""The semi-dynamic classes Dyn_s-C (Section 3.1).
+
+"In the above, if no deletes are allowed then we get the class Dyn_s-C, the
+semi-dynamic version of C."  :func:`semidynamic` restricts a program to its
+insert-only fragment: the resulting engine refuses deletions, and the
+programs become simpler objects to reason about (e.g. REACH_u's insert rule
+alone is incremental transitive-closure maintenance with no reconnection
+machinery ever exercised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .program import DynFOProgram
+
+__all__ = ["semidynamic"]
+
+
+def semidynamic(program: DynFOProgram, allow_set: bool = True) -> DynFOProgram:
+    """The Dyn_s (insert-only) restriction of ``program``.
+
+    Deletion rules are dropped, so the engine raises ``UnsupportedRequest``
+    on any delete; ``set`` requests are kept unless ``allow_set`` is False.
+    Everything else (auxiliary vocabulary, insert rules, queries) is shared
+    with the original program.
+    """
+    return replace(
+        program,
+        name=f"{program.name}_semidynamic",
+        on_delete={},
+        on_set=program.on_set if allow_set else {},
+        notes=(
+            f"Dyn_s restriction of {program.name!r} (Section 3.1: no "
+            "deletes).  " + program.notes
+        ),
+    )

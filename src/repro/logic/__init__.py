@@ -1,0 +1,154 @@
+"""First-order logic over finite ordered structures — the paper's substrate.
+
+Public surface:
+
+* :class:`Vocabulary`, :class:`Structure` — relational signatures and
+  database instances (paper Sec. 2);
+* the formula AST in :mod:`repro.logic.syntax` and the combinator DSL in
+  :mod:`repro.logic.dsl`;
+* :func:`parse_formula` / :func:`format_formula` — concrete syntax;
+* three interchangeable evaluators: :func:`holds`/:func:`naive_query`
+  (reference semantics), :class:`RelationalEvaluator` (database-style join
+  planning; the default), and :class:`DenseEvaluator` (vectorized CRAM[1]
+  simulation);
+* :func:`duplicator_wins` — EF games for static inexpressibility demos.
+"""
+
+from .dense import DenseEvaluator
+from .dsl import (
+    Rel,
+    bit,
+    c,
+    either_order,
+    eq,
+    eq2,
+    exists,
+    forall,
+    le,
+    lit,
+    lt,
+    neq,
+)
+from .evaluation import EvaluationError, eval_term, holds, naive_query
+from .explain import explain, plan_events
+from .games import distinguishing_rank, duplicator_wins, partial_isomorphism
+from .parser import ParseError, parse_formula
+from .printer import format_formula
+from .structure import FrozenStructure, Structure, StructureError
+from .syntax import (
+    And,
+    Atom,
+    Bit,
+    BOT,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lit,
+    Lt,
+    Not,
+    Or,
+    Term,
+    TOP,
+    TrueF,
+    Var,
+)
+from .relational import Relation, RelationalEvaluator, query
+from .transform import (
+    connective_depth,
+    constants_of,
+    formula_size,
+    free_vars,
+    quantifier_prefix,
+    quantifier_rank,
+    relations_of,
+    simplify,
+    standardize_apart,
+    substitute,
+    to_nnf,
+    to_prenex,
+)
+from .vocabulary import ConstantSymbol, RelationSymbol, Vocabulary, VocabularyError
+
+__all__ = [
+    # vocabulary / structure
+    "Vocabulary",
+    "VocabularyError",
+    "RelationSymbol",
+    "ConstantSymbol",
+    "Structure",
+    "FrozenStructure",
+    "StructureError",
+    # syntax
+    "Term",
+    "Var",
+    "Const",
+    "Lit",
+    "Formula",
+    "TrueF",
+    "FalseF",
+    "TOP",
+    "BOT",
+    "Atom",
+    "Eq",
+    "Le",
+    "Lt",
+    "Bit",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "Forall",
+    # dsl
+    "Rel",
+    "c",
+    "lit",
+    "eq",
+    "neq",
+    "le",
+    "lt",
+    "bit",
+    "exists",
+    "forall",
+    "eq2",
+    "either_order",
+    # parsing / printing
+    "parse_formula",
+    "ParseError",
+    "format_formula",
+    # transforms
+    "free_vars",
+    "constants_of",
+    "relations_of",
+    "substitute",
+    "standardize_apart",
+    "to_nnf",
+    "to_prenex",
+    "quantifier_prefix",
+    "simplify",
+    "quantifier_rank",
+    "connective_depth",
+    "formula_size",
+    # evaluation
+    "holds",
+    "eval_term",
+    "naive_query",
+    "EvaluationError",
+    "Relation",
+    "RelationalEvaluator",
+    "query",
+    "explain",
+    "plan_events",
+    "DenseEvaluator",
+    # games
+    "duplicator_wins",
+    "distinguishing_rank",
+    "partial_isomorphism",
+]

@@ -1,0 +1,260 @@
+"""Dense boolean-tensor evaluation of FO formulas — an executable CRAM[1].
+
+FO = CRAM[1] (Immerman): a first-order formula can be evaluated by a CRCW
+PRAM with polynomially many processors in *constant* parallel time — one
+parallel step per connective or quantifier block.  This evaluator realizes
+that model literally: every variable is a tensor axis, every subformula
+evaluates to a boolean ndarray broadcast over the mentioned axes, and every
+connective / quantifier is a single vectorized NumPy operation (the
+"parallel step").
+
+The number of parallel steps performed therefore equals
+:func:`repro.logic.transform.connective_depth` of the formula — a quantity
+independent of the structure size ``n`` — while the *hardware* (tensor
+cells) is polynomial, ``n^v`` for ``v`` distinct variables.  Experiment E16
+measures exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .evaluation import EvaluationError, eval_term
+from .structure import Structure
+from .syntax import (
+    And,
+    Atom,
+    Bit,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Term,
+    TrueF,
+    Var,
+)
+from .transform import free_vars, standardize_apart
+
+__all__ = ["DenseEvaluator"]
+
+
+class DenseEvaluator:
+    """Evaluates formulas as boolean tensors over one fixed structure.
+
+    API-compatible with :class:`repro.logic.relational.RelationalEvaluator`
+    (``rows`` and ``truth``), so the Dyn-FO engine can swap backends.
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        params: Mapping[str, int] | None = None,
+        max_cells: int = 200_000_000,
+    ) -> None:
+        self.structure = structure
+        self.params = dict(params) if params else {}
+        self.max_cells = max_cells
+        self._relation_arrays: dict[str, np.ndarray] = {}
+        self.parallel_steps = 0  # connective/quantifier ops in the last call
+
+    # -- public API ----------------------------------------------------------
+
+    def rows(self, formula: Formula, frame: tuple[str, ...]) -> set[tuple[int, ...]]:
+        missing = free_vars(formula) - set(frame)
+        if missing:
+            raise EvaluationError(f"frame {frame} does not bind {sorted(missing)}")
+        if not frame:
+            return {()} if self.truth(formula) else set()
+        array, axes = self._run(formula, frame)
+        n = self.structure.n
+        # collapse bound-variable axes (all size one after quantification)
+        frame_axes = [axes[v] for v in frame]
+        slicer = tuple(
+            slice(None) if i in frame_axes else 0 for i in range(array.ndim)
+        )
+        collapsed = array[slicer]
+        # collapsed now has one axis per frame variable, ordered by axis index
+        order = np.argsort(np.argsort(frame_axes))
+        full = np.broadcast_to(collapsed, (n,) * len(frame))
+        hits = np.argwhere(full)
+        return {tuple(int(hit[order[i]]) for i in range(len(frame))) for hit in hits}
+
+    def truth(self, sentence: Formula) -> bool:
+        if free_vars(sentence):
+            raise EvaluationError("truth() requires a sentence")
+        array, _ = self._run(sentence, ())
+        return bool(array.reshape(-1)[0])
+
+    # -- setup -----------------------------------------------------------------
+
+    def _run(self, formula: Formula, frame: tuple[str, ...]):
+        formula = standardize_apart(formula)
+        axes, total = _assign_axes(formula, frame)
+        n = self.structure.n
+        if total > 0 and n ** total > self.max_cells:
+            raise EvaluationError(
+                f"dense evaluation needs n^{total} cells; "
+                f"n={n} exceeds the {self.max_cells}-cell budget"
+            )
+        self.parallel_steps = 0
+        array = self._eval(formula, axes, total)
+        return array, axes
+
+    # -- term and atom tensors ----------------------------------------------------
+
+    def _axis_shape(self, axis: int, total: int) -> tuple[int, ...]:
+        shape = [1] * total
+        shape[axis] = self.structure.n
+        return tuple(shape)
+
+    def _term_array(self, term: Term, axes: Mapping[str, int], total: int):
+        """An integer ndarray (broadcastable) holding the term's value."""
+        if isinstance(term, Var):
+            axis = axes[term.name]
+            return np.arange(self.structure.n).reshape(self._axis_shape(axis, total))
+        value = eval_term(term, self.structure, {}, self.params)
+        return np.array(value)
+
+    def _relation_array(self, name: str) -> np.ndarray:
+        cached = self._relation_arrays.get(name)
+        if cached is not None:
+            return cached
+        n = self.structure.n
+        arity = self.structure.vocabulary.arity(name)
+        array = np.zeros((n,) * arity, dtype=bool)
+        rows = self.structure.relation_view(name)
+        if rows:
+            if arity == 0:
+                array = np.array(True)
+            else:
+                idx = np.array(sorted(rows), dtype=np.intp)
+                array[tuple(idx[:, i] for i in range(arity))] = True
+        self._relation_arrays[name] = array
+        return array
+
+    def _eval_atom(self, atom: Atom, axes: Mapping[str, int], total: int):
+        rel = self._relation_array(atom.rel)
+        if not atom.args:
+            return rel  # scalar; reshaped by the caller
+        index = []
+        for arg in atom.args:
+            index.append(self._term_array(arg, axes, total))
+        # advanced indexing broadcasts the index arrays together
+        result = rel[tuple(index)]
+        return result
+
+    # -- recursive evaluation ---------------------------------------------------------
+
+    def _eval(self, formula: Formula, axes: Mapping[str, int], total: int):
+        ones = (1,) * total
+
+        def lift(value: bool):
+            return np.full(ones, value, dtype=bool)
+
+        if isinstance(formula, TrueF):
+            return lift(True)
+        if isinstance(formula, FalseF):
+            return lift(False)
+        if isinstance(formula, Atom):
+            result = self._eval_atom(formula, axes, total)
+            return np.reshape(result, ones) if result.ndim == 0 else result
+        if isinstance(formula, (Eq, Le, Lt)):
+            left = self._term_array(formula.left, axes, total)
+            right = self._term_array(formula.right, axes, total)
+            self.parallel_steps += 1
+            op = {Eq: np.equal, Le: np.less_equal, Lt: np.less}[type(formula)]
+            result = op(left, right)
+            return np.reshape(result, ones) if result.ndim == 0 else result
+        if isinstance(formula, Bit):
+            number = self._term_array(formula.number, axes, total)
+            index = self._term_array(formula.index, axes, total)
+            self.parallel_steps += 1
+            result = ((number >> index) & 1).astype(bool)
+            return np.reshape(result, ones) if result.ndim == 0 else result
+        if isinstance(formula, Not):
+            self.parallel_steps += 1
+            return ~self._eval(formula.body, axes, total)
+        if isinstance(formula, And):
+            arrays = [self._eval(p, axes, total) for p in formula.parts]
+            self.parallel_steps += 1
+            result = arrays[0]
+            for array in arrays[1:]:
+                result = result & array
+            return result
+        if isinstance(formula, Or):
+            arrays = [self._eval(p, axes, total) for p in formula.parts]
+            self.parallel_steps += 1
+            result = arrays[0]
+            for array in arrays[1:]:
+                result = result | array
+            return result
+        if isinstance(formula, Implies):
+            left = self._eval(formula.left, axes, total)
+            right = self._eval(formula.right, axes, total)
+            self.parallel_steps += 1
+            return ~left | right
+        if isinstance(formula, Iff):
+            left = self._eval(formula.left, axes, total)
+            right = self._eval(formula.right, axes, total)
+            self.parallel_steps += 1
+            return left == right
+        if isinstance(formula, (Exists, Forall)):
+            body = self._eval(formula.body, axes, total)
+            reducer = np.any if isinstance(formula, Exists) else np.all
+            target_axes = tuple(axes[v] for v in formula.vars)
+            self.parallel_steps += 1
+            live = tuple(a for a in target_axes if body.shape[a] != 1)
+            if not live:
+                return body
+            return reducer(body, axis=live, keepdims=True)
+        raise TypeError(f"unknown formula node {formula!r}")  # pragma: no cover
+
+
+def _assign_axes(
+    formula: Formula, frame: tuple[str, ...]
+) -> tuple[dict[str, int], int]:
+    """Scope-aware axis assignment: frame variables get dedicated leading
+    axes; bound variables (unique names after standardize-apart) are
+    allocated from a free pool on quantifier entry and released on exit, so
+    *sibling* quantifier scopes share axes.  The tensor rank is therefore
+    |frame| + maximum quantifier-nesting width, not the total number of
+    distinct variables — the difference between n^26 and n^7 on the larger
+    update formulas."""
+    axes: dict[str, int] = {name: i for i, name in enumerate(frame)}
+    free_pool: list[int] = []
+    allocated = len(frame)
+
+    def rec(node: Formula) -> None:
+        nonlocal allocated
+        if isinstance(node, (Exists, Forall)):
+            taken: list[int] = []
+            for var in node.vars:
+                if free_pool:
+                    axis = free_pool.pop()
+                else:
+                    axis = allocated
+                    allocated += 1
+                axes[var] = axis
+                taken.append(axis)
+            rec(node.body)
+            free_pool.extend(taken)
+        elif isinstance(node, Not):
+            rec(node.body)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                rec(part)
+        elif isinstance(node, (Implies, Iff)):
+            rec(node.left)
+            rec(node.right)
+
+    rec(formula)
+    return axes, allocated

@@ -1,0 +1,112 @@
+"""Combinator DSL for writing FO formulas the way the paper does.
+
+Example (the PARITY update formula of Example 3.2)::
+
+    from repro.logic.dsl import Rel, c, eq, exists
+
+    M = Rel("M")
+    x, a = "x", c("a")
+    new_m = M(x) | eq(x, a)
+
+Relation symbols are callables producing atoms; ``c`` makes a symbolic
+constant (update parameter or vocabulary constant); plain strings are
+variables.  Connectives come from operator overloading on formulas
+(``& | ~ >>``) plus the quantifier helpers ``exists`` / ``forall``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .syntax import (
+    Atom,
+    Bit,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Le,
+    Lit,
+    Lt,
+    TermLike,
+)
+
+__all__ = [
+    "Rel",
+    "c",
+    "lit",
+    "eq",
+    "neq",
+    "le",
+    "lt",
+    "bit",
+    "exists",
+    "forall",
+    "eq2",
+    "either_order",
+]
+
+
+class Rel:
+    """A relation symbol usable as an atom factory: ``E = Rel("E"); E(x, y)``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, *args: TermLike) -> Atom:
+        return Atom(self.name, args)
+
+    def __repr__(self) -> str:
+        return f"Rel({self.name!r})"
+
+
+def c(name: str) -> Const:
+    """A symbolic constant (vocabulary constant or update parameter)."""
+    return Const(name)
+
+
+def lit(value: int) -> Lit:
+    """An integer literal."""
+    return Lit(value)
+
+
+def eq(left: TermLike, right: TermLike) -> Formula:
+    return Eq(left, right)
+
+
+def neq(left: TermLike, right: TermLike) -> Formula:
+    return ~Eq(left, right)
+
+
+def le(left: TermLike, right: TermLike) -> Formula:
+    return Le(left, right)
+
+
+def lt(left: TermLike, right: TermLike) -> Formula:
+    return Lt(left, right)
+
+
+def bit(number: TermLike, index: TermLike) -> Formula:
+    return Bit(number, index)
+
+
+def exists(names: Sequence[str] | str, body: Formula) -> Formula:
+    return Exists(names, body)
+
+
+def forall(names: Sequence[str] | str, body: Formula) -> Formula:
+    return Forall(names, body)
+
+
+def eq2(
+    x: TermLike, y: TermLike, a: TermLike, b: TermLike
+) -> Formula:
+    """The paper's ``Eq(x, y, c, d)`` abbreviation:
+    ``(x = c & y = d) | (x = d & y = c)``."""
+    return (Eq(x, a) & Eq(y, b)) | (Eq(x, b) & Eq(y, a))
+
+
+def either_order(atom_factory: Rel, x: TermLike, y: TermLike) -> Formula:
+    """``R(x, y) | R(y, x)`` — handy for symmetric relations."""
+    return atom_factory(x, y) | atom_factory(y, x)

@@ -1,0 +1,72 @@
+"""EXPLAIN for the relational evaluator: render the join plan it executed.
+
+Dyn-FO update formulas *are* relational-calculus queries, so when one turns
+out slow the right tool is a query plan.  ``explain`` evaluates a formula
+with tracing enabled and renders the planner's steps — per-subformula
+materializations with their column frames and row counts, conjunction
+planning events (joins, filters, universe widenings), and distribution over
+disjunctions.
+
+>>> from repro.logic import Structure, Vocabulary
+>>> from repro.logic.dsl import Rel, exists
+>>> E = Rel("E")
+>>> s = Structure(Vocabulary.parse("E^2"), 4, relations={"E": [(0, 1), (1, 2)]})
+>>> print(explain(exists("z", E("x", "z") & E("z", "y")), s, ("x", "y")))
+... # doctest: +ELLIPSIS
+plan for frame ('x', 'y') ...
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .relational import RelationalEvaluator
+from .structure import Structure
+from .syntax import Formula
+
+__all__ = ["explain", "plan_events"]
+
+
+def plan_events(
+    formula: Formula,
+    structure: Structure,
+    frame: tuple[str, ...],
+    params: Mapping[str, int] | None = None,
+    max_rows: int | None = None,
+) -> tuple[list[tuple[int, str, tuple[str, ...], int]], set[tuple[int, ...]]]:
+    """Evaluate with tracing; returns (events, result rows).
+
+    Each event is ``(depth, description, columns, row_count)``.
+    """
+    trace: list = []
+    kwargs = {} if max_rows is None else {"max_rows": max_rows}
+    evaluator = RelationalEvaluator(structure, params, trace=trace, **kwargs)
+    rows = evaluator.rows(formula, frame)
+    return trace, rows
+
+
+def explain(
+    formula: Formula,
+    structure: Structure,
+    frame: tuple[str, ...],
+    params: Mapping[str, int] | None = None,
+    max_events: int = 200,
+) -> str:
+    """A human-readable plan for evaluating ``formula`` over ``frame``."""
+    events, rows = plan_events(formula, structure, frame, params)
+    lines = [
+        f"plan for frame {frame} over universe {{0..{structure.n - 1}}} "
+        f"-> {len(rows)} rows"
+    ]
+    shown = events[:max_events]
+    for depth, event, columns, count in shown:
+        indent = "  " * depth
+        if columns:
+            lines.append(f"{indent}{event}  cols={list(columns)}  rows={count}")
+        else:
+            lines.append(f"{indent}{event}")
+    if len(events) > max_events:
+        lines.append(f"... {len(events) - max_events} more events")
+    peak = max((count for (_, _, _, count) in events), default=0)
+    lines.append(f"peak intermediate size: {peak} rows over {len(events)} steps")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Ehrenfeucht-Fraïssé games.
+
+The paper's motivation is that REACH_u, PARITY, etc. are **not** static
+first-order queries.  The standard tool for such inexpressibility results is
+the k-round EF game: Duplicator wins the k-round game on (A, B) iff A and B
+agree on all FO sentences of quantifier rank <= k.  This module decides the
+winner by exhaustive search with memoization — exponential in k, so intended
+for the small demonstration structures used in the tests and examples
+(e.g. cycles C_2k vs two disjoint C_k's, which agree up to rank ~log k while
+differing on connectivity).
+
+Only the *relational* part of the vocabulary is played by default; pass
+``with_order=True`` to also require partial maps to respect the built-in
+total order (the numeric vocabulary).  BIT is not played: with BIT every
+element is definable, so games against the full numeric vocabulary are not
+informative.
+"""
+
+from __future__ import annotations
+
+from .structure import Structure
+
+__all__ = ["duplicator_wins", "distinguishing_rank", "partial_isomorphism"]
+
+
+def partial_isomorphism(
+    a: Structure,
+    b: Structure,
+    pairs: tuple[tuple[int, int], ...],
+    with_order: bool = False,
+) -> bool:
+    """Is the finite map {a_i -> b_i} (plus constants) a partial isomorphism?"""
+    if a.vocabulary != b.vocabulary:
+        return False
+    mapping = dict(pairs)
+    inverse: dict[int, int] = {}
+    for x, y in pairs:
+        if mapping.get(x) != y or inverse.setdefault(y, x) != x:
+            return False
+    for name in a.vocabulary.constant_names():
+        ca, cb = a.constant(name), b.constant(name)
+        if mapping.get(ca, cb) != cb or inverse.get(cb, ca) != ca:
+            return False
+        mapping[ca] = cb
+        inverse[cb] = ca
+    items = list(mapping.items())
+    if with_order:
+        for x1, y1 in items:
+            for x2, y2 in items:
+                if (x1 <= x2) != (y1 <= y2):
+                    return False
+    for rel in a.vocabulary:
+        arity = rel.arity
+        if arity == 0:
+            if a.holds(rel.name, ()) != b.holds(rel.name, ()):
+                return False
+            continue
+        domain = [x for x, _ in items]
+        # check all tuples over the chosen points
+        for tup in _tuples(domain, arity):
+            image = tuple(mapping[x] for x in tup)
+            if a.holds(rel.name, tup) != b.holds(rel.name, image):
+                return False
+    return True
+
+
+def _tuples(domain: list[int], arity: int):
+    if arity == 1:
+        for x in domain:
+            yield (x,)
+        return
+    import itertools
+
+    yield from itertools.product(domain, repeat=arity)
+
+
+def duplicator_wins(
+    a: Structure,
+    b: Structure,
+    rounds: int,
+    with_order: bool = False,
+) -> bool:
+    """Does Duplicator win the ``rounds``-round EF game on (a, b)?
+
+    True iff ``a`` and ``b`` satisfy the same FO[<relational vocabulary>]
+    sentences of quantifier rank at most ``rounds``.
+    """
+    memo: dict[tuple[int, tuple[tuple[int, int], ...]], bool] = {}
+
+    def play(k: int, pairs: tuple[tuple[int, int], ...]) -> bool:
+        if not partial_isomorphism(a, b, pairs, with_order):
+            return False
+        if k == 0:
+            return True
+        key = (k, tuple(sorted(pairs)))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = True
+        # Spoiler plays in a; Duplicator answers in b.
+        for x in a.universe:
+            if not any(play(k - 1, pairs + ((x, y),)) for y in b.universe):
+                result = False
+                break
+        if result:
+            # Spoiler plays in b; Duplicator answers in a.
+            for y in b.universe:
+                if not any(play(k - 1, pairs + ((x, y),)) for x in a.universe):
+                    result = False
+                    break
+        memo[key] = result
+        return result
+
+    return play(rounds, ())
+
+
+def distinguishing_rank(
+    a: Structure,
+    b: Structure,
+    max_rounds: int = 5,
+    with_order: bool = False,
+) -> int | None:
+    """Smallest quantifier rank at which some FO sentence separates ``a``
+    from ``b``, or None if Duplicator survives ``max_rounds`` rounds."""
+    for k in range(max_rounds + 1):
+        if not duplicator_wins(a, b, k, with_order):
+            return k
+    return None

@@ -1,0 +1,218 @@
+"""Parser for the concrete FO syntax produced by :mod:`repro.logic.printer`.
+
+Grammar (loosest to tightest)::
+
+    iff     := implies ("<->" implies)*
+    implies := or ("->" implies)?              # right associative
+    or      := and ("|" and)*
+    and     := unary ("&" unary)*
+    unary   := "~" unary
+             | ("exists" | "forall") name+ "." unary
+             | "true" | "false"
+             | name "(" terms? ")"             # relation atom / BIT
+             | term ("=" | "<=" | "<") term
+             | "(" iff ")"
+
+Note the quantifier body is a *unary* item: ``exists x. E(x, y) & P(y)``
+parses as ``(exists x. E(x, y)) & P(y)``; parenthesize the body to widen the
+scope.  This matches the printer exactly, so parse/print round-trips.
+
+Identifiers parse as variables unless they are declared constants (pass
+``constants=...``), the numeric constants ``min``/``max``, or integer
+literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .syntax import (
+    And,
+    Atom,
+    Bit,
+    BOT,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lit,
+    Lt,
+    Not,
+    Or,
+    Term,
+    TOP,
+    Var,
+)
+
+__all__ = ["parse_formula", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lpar>\()|(?P<rpar>\))|(?P<comma>,)|(?P<dot>\.)"
+    r"|(?P<iff><->)|(?P<implies>->)|(?P<le><=)|(?P<lt><)|(?P<eq>=)"
+    r"|(?P<and>&)|(?P<or>\|)|(?P<not>~|!)"
+    r"|(?P<int>\d+)|(?P<name>[A-Za-z_][A-Za-z0-9_]*))"
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+            break
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, constants: frozenset[str]) -> None:
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.constants = constants
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        got_kind, value = self.next()
+        if got_kind != kind:
+            raise ParseError(f"expected {kind}, got {got_kind} {value!r}")
+        return value
+
+    # -- expression levels -------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self.iff()
+        if self.peek()[0] != "eof":
+            raise ParseError(f"trailing input at token {self.peek()!r}")
+        return formula
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.peek()[0] == "iff":
+            self.next()
+            left = Iff(left, self.implies())
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.peek()[0] == "implies":
+            self.next()
+            return Implies(left, self.implies())
+        return left
+
+    def or_(self) -> Formula:
+        parts = [self.and_()]
+        while self.peek()[0] == "or":
+            self.next()
+            parts.append(self.and_())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def and_(self) -> Formula:
+        parts = [self.unary()]
+        while self.peek()[0] == "and":
+            self.next()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def unary(self) -> Formula:
+        kind, value = self.peek()
+        if kind == "not":
+            self.next()
+            return Not(self.unary())
+        if kind == "name" and value in ("exists", "forall"):
+            self.next()
+            names = []
+            while self.peek()[0] == "name" and self.peek()[1] not in _KEYWORDS:
+                names.append(self.next()[1])
+            if not names:
+                raise ParseError(f"{value} needs at least one variable")
+            self.expect("dot")
+            body = self.unary()
+            return Exists(tuple(names), body) if value == "exists" else Forall(
+                tuple(names), body
+            )
+        if kind == "name" and value == "true":
+            self.next()
+            return TOP
+        if kind == "name" and value == "false":
+            self.next()
+            return BOT
+        if kind == "lpar":
+            self.next()
+            inner = self.iff()
+            self.expect("rpar")
+            return inner
+        if kind == "name" and self.tokens[self.pos + 1][0] == "lpar":
+            return self.atom()
+        return self.comparison()
+
+    def atom(self) -> Formula:
+        name = self.expect("name")
+        self.expect("lpar")
+        args: list[Term] = []
+        if self.peek()[0] != "rpar":
+            args.append(self.term())
+            while self.peek()[0] == "comma":
+                self.next()
+                args.append(self.term())
+        self.expect("rpar")
+        if name == "BIT":
+            if len(args) != 2:
+                raise ParseError("BIT takes exactly two arguments")
+            return Bit(args[0], args[1])
+        return Atom(name, tuple(args))
+
+    def comparison(self) -> Formula:
+        left = self.term()
+        kind, _ = self.next()
+        right_ctor = {"eq": Eq, "le": Le, "lt": Lt}.get(kind)
+        if right_ctor is None:
+            raise ParseError(f"expected comparison operator, got {kind}")
+        right = self.term()
+        return right_ctor(left, right)
+
+    def term(self) -> Term:
+        kind, value = self.next()
+        if kind == "int":
+            return Lit(int(value))
+        if kind == "name":
+            if value in ("min", "max") or value in self.constants:
+                return Const(value)
+            if value in _KEYWORDS:
+                raise ParseError(f"keyword {value!r} used as a term")
+            return Var(value)
+        raise ParseError(f"expected a term, got {kind} {value!r}")
+
+
+def parse_formula(text: str, constants: Iterable[str] = ()) -> Formula:
+    """Parse ``text`` into a :class:`~repro.logic.syntax.Formula`.
+
+    ``constants`` lists identifier names to treat as symbolic constants
+    rather than variables (``min`` and ``max`` always are).
+    """
+    return _Parser(text, frozenset(constants)).parse()

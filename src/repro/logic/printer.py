@@ -1,0 +1,101 @@
+"""Pretty-printing of formulas to a concrete text syntax.
+
+The syntax round-trips through :mod:`repro.logic.parser`::
+
+    exists u v. Eq(u, v) & P(x, u) -> x = y
+
+Precedence (loosest to tightest): ``<->``, ``->``, ``|``, ``&``,
+``~`` / quantifiers, atoms.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    Atom,
+    Bit,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Term,
+    TrueF,
+)
+
+__all__ = ["format_formula", "format_term"]
+
+_PREC_IFF = 0
+_PREC_IMPLIES = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_UNARY = 4
+_PREC_ATOM = 5
+
+
+def format_term(term: Term) -> str:
+    return str(term)
+
+
+def _fmt(formula: Formula, parent_prec: int) -> str:
+    text, prec = _render(formula)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _render(formula: Formula) -> tuple[str, int]:
+    if isinstance(formula, TrueF):
+        return "true", _PREC_ATOM
+    if isinstance(formula, FalseF):
+        return "false", _PREC_ATOM
+    if isinstance(formula, Atom):
+        args = ", ".join(format_term(a) for a in formula.args)
+        return f"{formula.rel}({args})", _PREC_ATOM
+    if isinstance(formula, Eq):
+        return f"{format_term(formula.left)} = {format_term(formula.right)}", _PREC_ATOM
+    if isinstance(formula, Le):
+        return f"{format_term(formula.left)} <= {format_term(formula.right)}", _PREC_ATOM
+    if isinstance(formula, Lt):
+        return f"{format_term(formula.left)} < {format_term(formula.right)}", _PREC_ATOM
+    if isinstance(formula, Bit):
+        return (
+            f"BIT({format_term(formula.number)}, {format_term(formula.index)})",
+            _PREC_ATOM,
+        )
+    if isinstance(formula, Not):
+        return f"~{_fmt(formula.body, _PREC_UNARY + 1)}", _PREC_UNARY
+    if isinstance(formula, And):
+        # parts render one level tighter so a *nested* And keeps its parens
+        # and the parse tree round-trips exactly
+        inner = " & ".join(_fmt(p, _PREC_AND + 1) for p in formula.parts)
+        return inner, _PREC_AND
+    if isinstance(formula, Or):
+        inner = " | ".join(_fmt(p, _PREC_OR + 1) for p in formula.parts)
+        return inner, _PREC_OR
+    if isinstance(formula, Implies):
+        left = _fmt(formula.left, _PREC_IMPLIES + 1)
+        right = _fmt(formula.right, _PREC_IMPLIES)
+        return f"{left} -> {right}", _PREC_IMPLIES
+    if isinstance(formula, Iff):
+        left = _fmt(formula.left, _PREC_IFF + 1)
+        right = _fmt(formula.right, _PREC_IFF + 1)
+        return f"{left} <-> {right}", _PREC_IFF
+    if isinstance(formula, Exists):
+        body = _fmt(formula.body, _PREC_UNARY)
+        return f"exists {' '.join(formula.vars)}. {body}", _PREC_UNARY
+    if isinstance(formula, Forall):
+        body = _fmt(formula.body, _PREC_UNARY)
+        return f"forall {' '.join(formula.vars)}. {body}", _PREC_UNARY
+    raise TypeError(f"unknown formula node {formula!r}")  # pragma: no cover
+
+
+def format_formula(formula: Formula) -> str:
+    """Render ``formula`` as parseable text."""
+    return _fmt(formula, 0)

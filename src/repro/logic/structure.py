@@ -1,0 +1,241 @@
+"""Finite relational structures (relational database instances).
+
+A structure ``A = <{0..n-1}, R1 .. Rr, c1 .. cs>`` interprets every relation
+symbol of its vocabulary as a set of integer tuples over the universe
+``{0, ..., n-1}`` and every constant symbol as a universe element
+(paper, Sec. 2).  The numeric predicates ``<=``, ``<``, ``=``, ``BIT`` and the
+numeric constants ``min``/``max`` are built into the logic and are *not*
+stored here.
+
+Structures are mutable (the whole point of the paper is updating them), but
+every mutator validates its arguments, and :meth:`Structure.copy` /
+:meth:`Structure.freeze` support snapshotting for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .vocabulary import Vocabulary, VocabularyError
+
+__all__ = ["Structure", "StructureError", "FrozenStructure"]
+
+
+class StructureError(ValueError):
+    """Raised on out-of-universe elements or unknown symbols."""
+
+
+class Structure:
+    """A finite structure over a fixed vocabulary and universe size ``n``."""
+
+    __slots__ = ("vocabulary", "n", "_relations", "_constants")
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        n: int,
+        relations: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
+        constants: Mapping[str, int] | None = None,
+    ) -> None:
+        if n <= 0:
+            raise StructureError(f"universe size must be positive, got {n}")
+        self.vocabulary = vocabulary
+        self.n = n
+        self._relations: dict[str, set[tuple[int, ...]]] = {
+            rel.name: set() for rel in vocabulary
+        }
+        # Constants default to 0, matching the paper's initial structure A_0^n.
+        self._constants: dict[str, int] = {
+            name: 0 for name in vocabulary.constant_names()
+        }
+        if relations:
+            for name, tuples in relations.items():
+                for tup in tuples:
+                    self.add(name, tup)
+        if constants:
+            for name, value in constants.items():
+                self.set_constant(name, value)
+
+    # -- element/tuple validation ---------------------------------------
+
+    def _check_element(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise StructureError(f"universe elements are ints, got {value!r}")
+        if not 0 <= value < self.n:
+            raise StructureError(
+                f"element {value} outside universe {{0..{self.n - 1}}}"
+            )
+        return value
+
+    def _check_tuple(self, name: str, tup: tuple[int, ...]) -> tuple[int, ...]:
+        arity = self.vocabulary.arity(name)
+        tup = tuple(tup)
+        if len(tup) != arity:
+            raise StructureError(
+                f"relation {name!r} has arity {arity}, got tuple {tup!r}"
+            )
+        for value in tup:
+            self._check_element(value)
+        return tup
+
+    # -- relation access --------------------------------------------------
+
+    def relation(self, name: str) -> frozenset[tuple[int, ...]]:
+        """The current interpretation of relation ``name`` (a copy)."""
+        try:
+            return frozenset(self._relations[name])
+        except KeyError:
+            raise StructureError(f"unknown relation {name!r}") from None
+
+    def relation_view(self, name: str) -> set[tuple[int, ...]]:
+        """Internal mutable set for ``name`` — callers must not mutate it."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise StructureError(f"unknown relation {name!r}") from None
+
+    def holds(self, name: str, tup: tuple[int, ...]) -> bool:
+        return tuple(tup) in self.relation_view(name)
+
+    def add(self, name: str, tup: tuple[int, ...]) -> None:
+        self._relations[name].add(self._check_tuple(name, tup))
+
+    def discard(self, name: str, tup: tuple[int, ...]) -> None:
+        self._relations[name].discard(self._check_tuple(name, tup))
+
+    def set_relation(self, name: str, tuples: Iterable[tuple[int, ...]]) -> None:
+        """Replace the whole interpretation of ``name``."""
+        checked = {self._check_tuple(name, tuple(tup)) for tup in tuples}
+        self.relation_view(name)  # raises on unknown name
+        self._relations[name] = checked
+
+    def cardinality(self, name: str) -> int:
+        return len(self.relation_view(name))
+
+    # -- constant access --------------------------------------------------
+
+    def constant(self, name: str) -> int:
+        try:
+            return self._constants[name]
+        except KeyError:
+            raise StructureError(f"unknown constant {name!r}") from None
+
+    def set_constant(self, name: str, value: int) -> None:
+        if name not in self._constants:
+            raise StructureError(f"unknown constant {name!r}")
+        self._constants[name] = self._check_element(value)
+
+    def constants(self) -> dict[str, int]:
+        return dict(self._constants)
+
+    # -- whole-structure operations ----------------------------------------
+
+    @property
+    def universe(self) -> range:
+        return range(self.n)
+
+    def copy(self) -> "Structure":
+        clone = Structure(self.vocabulary, self.n)
+        clone._relations = {name: set(rows) for name, rows in self._relations.items()}
+        clone._constants = dict(self._constants)
+        return clone
+
+    def freeze(self) -> "FrozenStructure":
+        return FrozenStructure(
+            vocabulary=self.vocabulary,
+            n=self.n,
+            relations=tuple(
+                (name, frozenset(rows)) for name, rows in sorted(self._relations.items())
+            ),
+            constants=tuple(sorted(self._constants.items())),
+        )
+
+    def restrict(self, vocabulary: Vocabulary) -> "Structure":
+        """Project onto a sub-vocabulary (a reduct, in logic terms)."""
+        out = Structure(vocabulary, self.n)
+        for rel in vocabulary:
+            if not self.vocabulary.has_relation(rel.name):
+                raise VocabularyError(f"{rel.name!r} not present in structure")
+            out.set_relation(rel.name, self._relations[rel.name])
+        for name in vocabulary.constant_names():
+            out.set_constant(name, self.constant(name))
+        return out
+
+    def expand(
+        self,
+        vocabulary: Vocabulary,
+        relations: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
+        constants: Mapping[str, int] | None = None,
+    ) -> "Structure":
+        """Expand to a larger vocabulary; new symbols start empty/0 unless given."""
+        out = Structure(vocabulary, self.n)
+        for rel in self.vocabulary:
+            out.set_relation(rel.name, self._relations[rel.name])
+        for name in self.vocabulary.constant_names():
+            out.set_constant(name, self.constant(name))
+        if relations:
+            for name, tuples in relations.items():
+                out.set_relation(name, tuples)
+        if constants:
+            for name, value in constants.items():
+                out.set_constant(name, value)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self.vocabulary == other.vocabulary
+            and self.n == other.n
+            and self._relations == other._relations
+            and self._constants == other._constants
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, but freeze() hashes
+        raise TypeError("Structure is mutable; hash its .freeze() instead")
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{name}:{len(rows)}" for name, rows in sorted(self._relations.items())
+        )
+        return f"Structure(n={self.n}, {rels})"
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (small structures only)."""
+        lines = [f"universe = {{0..{self.n - 1}}}"]
+        for name in sorted(self._relations):
+            rows = sorted(self._relations[name])
+            lines.append(f"{name} = {{{', '.join(map(str, rows))}}}")
+        for name, value in sorted(self._constants.items()):
+            lines.append(f"{name} = {value}")
+        return "\n".join(lines)
+
+    # -- the paper's canonical initial structure ---------------------------
+
+    @staticmethod
+    def initial(vocabulary: Vocabulary, n: int) -> "Structure":
+        """The initial structure ``A_0^n``: all relations empty, constants 0.
+
+        The paper additionally designates a unary active-domain relation whose
+        initial value is {0}; programs that use one set it up themselves.
+        """
+        return Structure(vocabulary, n)
+
+
+@dataclass(frozen=True)
+class FrozenStructure:
+    """An immutable, hashable snapshot of a :class:`Structure`."""
+
+    vocabulary: Vocabulary
+    n: int
+    relations: tuple[tuple[str, frozenset[tuple[int, ...]]], ...]
+    constants: tuple[tuple[str, int], ...]
+
+    def thaw(self) -> Structure:
+        return Structure(
+            self.vocabulary,
+            self.n,
+            relations={name: rows for name, rows in self.relations},
+            constants=dict(self.constants),
+        )

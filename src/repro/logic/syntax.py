@@ -1,0 +1,327 @@
+"""Abstract syntax for first-order logic over ordered finite structures.
+
+The language ``L(tau)`` of the paper: relation atoms over a vocabulary, the
+numeric predicates ``=``, ``<=``, ``<`` and ``BIT``, the numeric constants
+``min``/``max``, boolean connectives, and quantifiers ranging over the
+universe ``{0..n-1}``.
+
+Formulas are immutable, hashable dataclasses.  Connectives are available both
+as constructors and as operators::
+
+    E(x, y) & ~F(x, y)          # conjunction, negation
+    P(x) | Q(x)                 # disjunction
+    guard >> body               # implication
+    phi.iff(psi)                # biconditional
+
+Terms are variables (:class:`Var`), symbolic constants (:class:`Const`, which
+also covers the numeric constants ``min``/``max`` and update parameters), and
+integer literals (:class:`Lit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Lit",
+    "Formula",
+    "TrueF",
+    "FalseF",
+    "TOP",
+    "BOT",
+    "Atom",
+    "Eq",
+    "Le",
+    "Lt",
+    "Bit",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "Forall",
+    "as_term",
+]
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class for terms."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A symbolic constant: a vocabulary constant, ``min``/``max``, or an
+    update parameter bound at evaluation time."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """An integer literal denoting a fixed universe element."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+TermLike = Union[Term, str, int]
+
+
+def as_term(value: TermLike) -> Term:
+    """Coerce ``str`` -> Var, ``int`` -> Lit, Term -> itself.
+
+    Strings are treated as variables, which matches how formulas are written
+    in the paper; use :class:`Const` explicitly for symbolic constants.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    if isinstance(value, bool):
+        raise TypeError("booleans are not terms")
+    if isinstance(value, int):
+        return Lit(value)
+    raise TypeError(f"cannot interpret {value!r} as a term")
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class for first-order formulas."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And.of(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        return Iff(self, other)
+
+    def __str__(self) -> str:
+        from .printer import format_formula
+
+        return format_formula(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The formula ``true``."""
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The formula ``false``."""
+
+
+TOP = TrueF()
+BOT = FalseF()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relation atom ``R(t1, ..., tk)``."""
+
+    rel: str
+    args: tuple[Term, ...]
+
+    def __init__(self, rel: str, args: Sequence[TermLike]) -> None:
+        object.__setattr__(self, "rel", rel)
+        object.__setattr__(self, "args", tuple(as_term(a) for a in args))
+
+
+class _Numeric(Formula):
+    """Marker base for built-in numeric predicates."""
+
+
+@dataclass(frozen=True)
+class Eq(_Numeric):
+    """``left = right``."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left: TermLike, right: TermLike) -> None:
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+
+
+@dataclass(frozen=True)
+class Le(_Numeric):
+    """``left <= right`` in the built-in total order."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left: TermLike, right: TermLike) -> None:
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+
+
+@dataclass(frozen=True)
+class Lt(_Numeric):
+    """``left < right`` (definable from <= and =; primitive for convenience)."""
+
+    left: Term
+    right: Term
+
+    def __init__(self, left: TermLike, right: TermLike) -> None:
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+
+
+@dataclass(frozen=True)
+class Bit(_Numeric):
+    """``BIT(x, y)``: bit ``y`` of the binary encoding of ``x`` is one."""
+
+    number: Term
+    index: Term
+
+    def __init__(self, number: TermLike, index: TermLike) -> None:
+        object.__setattr__(self, "number", as_term(number))
+        object.__setattr__(self, "index", as_term(index))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    @staticmethod
+    def of(*parts: Formula) -> Formula:
+        """N-ary conjunction that flattens nested Ands and drops ``true``."""
+        flat: list[Formula] = []
+        for part in parts:
+            if isinstance(part, TrueF):
+                continue
+            if isinstance(part, FalseF):
+                return BOT
+            if isinstance(part, And):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if not flat:
+            return TOP
+        if len(flat) == 1:
+            return flat[0]
+        return And(flat)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    @staticmethod
+    def of(*parts: Formula) -> Formula:
+        """N-ary disjunction that flattens nested Ors and drops ``false``."""
+        flat: list[Formula] = []
+        for part in parts:
+            if isinstance(part, FalseF):
+                continue
+            if isinstance(part, TrueF):
+                return TOP
+            if isinstance(part, Or):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if not flat:
+            return BOT
+        if len(flat) == 1:
+            return flat[0]
+        return Or(flat)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+
+def _coerce_vars(names: Sequence[str] | str) -> tuple[str, ...]:
+    if isinstance(names, str):
+        names = names.split()
+    names = tuple(names)
+    if not names:
+        raise ValueError("quantifier needs at least one variable")
+    if len(set(names)) != len(names):
+        raise ValueError(f"repeated quantified variable in {names}")
+    return names
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """``exists v1 ... vk . body``.  ``vars`` may be given as ``"u v"``."""
+
+    vars: tuple[str, ...]
+    body: Formula
+
+    def __init__(self, vars: Sequence[str] | str, body: Formula) -> None:
+        object.__setattr__(self, "vars", _coerce_vars(vars))
+        object.__setattr__(self, "body", body)
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """``forall v1 ... vk . body``."""
+
+    vars: tuple[str, ...]
+    body: Formula
+
+    def __init__(self, vars: Sequence[str] | str, body: Formula) -> None:
+        object.__setattr__(self, "vars", _coerce_vars(vars))
+        object.__setattr__(self, "body", body)

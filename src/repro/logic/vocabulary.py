@@ -1,0 +1,209 @@
+"""Relational vocabularies (signatures).
+
+A vocabulary ``tau = <R1^a1, ..., Rr^ar, c1, ..., cs>`` is a finite list of
+relation symbols with fixed arities and a finite list of constant symbols
+(Section 2 of the paper).  Vocabularies are immutable; structural operations
+(extension, renaming, union) return new vocabularies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "RelationSymbol",
+    "ConstantSymbol",
+    "Vocabulary",
+    "VocabularyError",
+]
+
+# Names reserved for the built-in numeric apparatus of L(tau): the total
+# order, equality, BIT, and the numeric constants min / max (paper, Sec. 2).
+RESERVED_NAMES = frozenset({"BIT", "min", "max", "true", "false"})
+
+
+class VocabularyError(ValueError):
+    """Raised on malformed vocabularies or symbol clashes."""
+
+
+def _check_name(name: str) -> str:
+    if not name or not isinstance(name, str):
+        raise VocabularyError(f"symbol name must be a nonempty string, got {name!r}")
+    if not (name[0].isalpha() or name[0] == "_"):
+        raise VocabularyError(f"symbol name must start with a letter: {name!r}")
+    if not all(ch.isalnum() or ch == "_" for ch in name):
+        raise VocabularyError(f"symbol name must be alphanumeric: {name!r}")
+    if name in RESERVED_NAMES:
+        raise VocabularyError(f"symbol name {name!r} is reserved")
+    return name
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a name and a nonnegative arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        if self.arity < 0:
+            raise VocabularyError(f"arity must be >= 0, got {self.arity}")
+
+    def __str__(self) -> str:
+        return f"{self.name}^{self.arity}"
+
+
+@dataclass(frozen=True, order=True)
+class ConstantSymbol:
+    """A constant symbol naming one element of the universe."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """An immutable relational vocabulary.
+
+    >>> graph = Vocabulary.parse("E^2")
+    >>> graph.arity("E")
+    2
+    >>> graph.extend(relations=[("F", 2)]).relation_names()
+    ('E', 'F')
+    """
+
+    relations: tuple[RelationSymbol, ...] = ()
+    constants: tuple[ConstantSymbol, ...] = ()
+    _by_name: Mapping[str, RelationSymbol] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, RelationSymbol] = {}
+        for rel in self.relations:
+            if rel.name in by_name:
+                raise VocabularyError(f"duplicate relation symbol {rel.name!r}")
+            by_name[rel.name] = rel
+        const_names = set()
+        for const in self.constants:
+            if const.name in by_name or const.name in const_names:
+                raise VocabularyError(f"duplicate symbol {const.name!r}")
+            const_names.add(const.name)
+        object.__setattr__(self, "_by_name", by_name)
+
+    # -- construction -------------------------------------------------
+
+    @staticmethod
+    def make(
+        relations: Iterable[tuple[str, int]] = (),
+        constants: Iterable[str] = (),
+    ) -> "Vocabulary":
+        """Build a vocabulary from ``(name, arity)`` pairs and constant names."""
+        return Vocabulary(
+            tuple(RelationSymbol(name, arity) for name, arity in relations),
+            tuple(ConstantSymbol(name) for name in constants),
+        )
+
+    @staticmethod
+    def parse(spec: str) -> "Vocabulary":
+        """Parse a compact spec such as ``"E^2, s, t"``.
+
+        Tokens with ``^k`` are relation symbols of arity ``k``; bare tokens
+        are constant symbols.
+        """
+        relations: list[tuple[str, int]] = []
+        constants: list[str] = []
+        for token in (tok.strip() for tok in spec.split(",")):
+            if not token:
+                continue
+            if "^" in token:
+                name, _, arity = token.partition("^")
+                relations.append((name.strip(), int(arity)))
+            else:
+                constants.append(token)
+        return Vocabulary.make(relations, constants)
+
+    # -- queries -------------------------------------------------------
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(rel.name for rel in self.relations)
+
+    def constant_names(self) -> tuple[str, ...]:
+        return tuple(const.name for const in self.constants)
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._by_name
+
+    def has_constant(self, name: str) -> bool:
+        return any(const.name == name for const in self.constants)
+
+    def arity(self, name: str) -> int:
+        try:
+            return self._by_name[name].arity
+        except KeyError:
+            raise VocabularyError(f"unknown relation symbol {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self.relations)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and (
+            self.has_relation(name) or self.has_constant(name)
+        )
+
+    # -- structural operations ------------------------------------------
+
+    def extend(
+        self,
+        relations: Iterable[tuple[str, int]] = (),
+        constants: Iterable[str] = (),
+    ) -> "Vocabulary":
+        """Return a new vocabulary with extra symbols appended."""
+        return Vocabulary(
+            self.relations + tuple(RelationSymbol(n, a) for n, a in relations),
+            self.constants + tuple(ConstantSymbol(n) for n in constants),
+        )
+
+    def union(self, other: "Vocabulary") -> "Vocabulary":
+        """Union of two vocabularies; shared symbols must agree on arity."""
+        relations = list(self.relations)
+        for rel in other.relations:
+            if self.has_relation(rel.name):
+                if self.arity(rel.name) != rel.arity:
+                    raise VocabularyError(
+                        f"arity clash for {rel.name!r}: "
+                        f"{self.arity(rel.name)} vs {rel.arity}"
+                    )
+            else:
+                relations.append(rel)
+        constants = list(self.constants)
+        seen = set(self.constant_names())
+        for const in other.constants:
+            if const.name not in seen:
+                constants.append(const)
+                seen.add(const.name)
+        return Vocabulary(tuple(relations), tuple(constants))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Vocabulary":
+        """Rename symbols according to ``mapping`` (identity elsewhere)."""
+        return Vocabulary(
+            tuple(
+                RelationSymbol(mapping.get(rel.name, rel.name), rel.arity)
+                for rel in self.relations
+            ),
+            tuple(
+                ConstantSymbol(mapping.get(c.name, c.name)) for c in self.constants
+            ),
+        )
+
+    def __str__(self) -> str:
+        parts = [str(rel) for rel in self.relations]
+        parts.extend(str(const) for const in self.constants)
+        return "<" + ", ".join(parts) + ">"

@@ -1,0 +1,80 @@
+"""The paper's Dyn-FO programs, one module per theorem.
+
+========================  =====================================
+Module                    Paper result
+========================  =====================================
+``parity``                Example 3.2
+``reach_u``               Theorem 4.1
+``reach_acyclic``         Theorem 4.2 (with [DS93])
+``reach_d``               Theorem 4.2 via Example 2.1 + Prop 5.3
+``transitive_reduction``  Corollary 4.3
+``msf``                   Theorem 4.4
+``bipartite``             Theorem 4.5(1)
+``kedge``                 Theorem 4.5(2)
+``matching``              Theorem 4.5(3)
+``lca``                   Theorem 4.5(4)
+``regular``               Theorem 4.6
+``multiplication``        Proposition 4.7
+``dyck``                  Proposition 4.8
+``pad_reach_a``           Theorem 5.14
+========================  =====================================
+
+``PROGRAM_FACTORIES`` maps names to zero-argument factories for the
+fixed-shape programs (parameterized families — regular languages, Dyck,
+reach_d — expose their own factories).
+"""
+
+from .bipartite import make_bipartite_program
+from .dyck import make_dyck_program
+from .kedge import KEdgeAnalyzer, k_edge_connectivity_sentence, make_kedge_program
+from .lca import make_lca_program
+from .matching import make_matching_program
+from .msf import make_msf_program
+from .multiplication import make_multiplication_program
+from .pad_reach_a import make_pad_reach_a_program
+from .parity import make_parity_program
+from .prefix_parity import make_prefix_parity_program
+from .reach_acyclic import make_reach_acyclic_program
+from .reach_d import make_reach_d_engine
+from .reach_u import make_reach_u_program
+from .reach_u_arity2 import make_reach_u_arity2_program
+from .regular import make_regular_program
+from .transitive_reduction import make_transitive_reduction_program
+
+PROGRAM_FACTORIES = {
+    "parity": make_parity_program,
+    "prefix_parity": make_prefix_parity_program,
+    "reach_u": make_reach_u_program,
+    "reach_u_arity2": make_reach_u_arity2_program,
+    "reach_acyclic": make_reach_acyclic_program,
+    "transitive_reduction": make_transitive_reduction_program,
+    "msf": make_msf_program,
+    "bipartite": make_bipartite_program,
+    "kedge": make_kedge_program,
+    "matching": make_matching_program,
+    "lca": make_lca_program,
+    "multiplication": make_multiplication_program,
+    "pad_reach_a": make_pad_reach_a_program,
+}
+
+__all__ = [
+    "PROGRAM_FACTORIES",
+    "make_parity_program",
+    "make_prefix_parity_program",
+    "make_reach_u_program",
+    "make_reach_u_arity2_program",
+    "make_reach_acyclic_program",
+    "make_reach_d_engine",
+    "make_transitive_reduction_program",
+    "make_msf_program",
+    "make_bipartite_program",
+    "make_kedge_program",
+    "KEdgeAnalyzer",
+    "k_edge_connectivity_sentence",
+    "make_matching_program",
+    "make_lca_program",
+    "make_regular_program",
+    "make_multiplication_program",
+    "make_dyck_program",
+    "make_pad_reach_a_program",
+]

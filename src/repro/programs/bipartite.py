@@ -1,0 +1,137 @@
+"""Bipartiteness is in Dyn-FO (Theorem 4.5(1)).
+
+On top of the spanning-forest relations E/F/PV of Theorem 4.1, the program
+maintains ``Odd(x, y)``: x != y lie in the same tree and the (unique) forest
+path between them has odd length.  The graph is bipartite iff every edge
+joins an odd pair::
+
+    forall x y. E(x, y) -> Odd(x, y)
+
+(a self-loop makes the query false, as it should).
+
+Parity bookkeeping: when a new edge (u, v) bridges the trees of x and y, the
+new path x..u, (u,v), v..y has odd length iff the x..u and v..y parities are
+*equal* — the paper's ``(Odd & Odd) | (~Odd & ~Odd)`` clause, with the
+degenerate x = u / y = v cases counted as even.
+
+Deletion of a forest edge severs the tree; pairs whose path avoided the edge
+keep their parity (their path is unchanged), disconnected pairs drop out,
+and pairs re-bridged by the replacement edge recompute parity the same way.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, eq2, exists, forall
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+from .reach_u import (
+    E,
+    F,
+    PV,
+    forest_delete_parts,
+    forest_insert_parts,
+    replacement_edge,
+    same_tree,
+    severed_path,
+    severed_same_tree,
+)
+
+__all__ = ["make_bipartite_program", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, F^2, PV^3, Odd^2")
+
+Odd = Rel("Odd")
+_A, _B = c("a"), c("b")
+
+
+def _even(x: TermLike, y: TermLike) -> Formula:
+    """Forest path of even length (including the empty path x = y)."""
+    return eq(x, y) | (PV(x, y, x) & ~Odd(x, y))
+
+
+def _parity_match(x: TermLike, u: TermLike, y: TermLike, v: TermLike) -> Formula:
+    """x..u and y..v have equal parity, so x..u,(u,v),v..y is odd."""
+    return (_even(x, u) & _even(y, v)) | (Odd(x, u) & Odd(y, v))
+
+
+# -- after severing forest edge (a, b): parities over the T relation ------------
+
+
+def _t_even(x: TermLike, y: TermLike) -> Formula:
+    # pairs in the same severed tree kept their path, hence their parity
+    return eq(x, y) | (severed_path(x, y, x) & ~Odd(x, y))
+
+
+def _t_odd(x: TermLike, y: TermLike) -> Formula:
+    return severed_path(x, y, x) & Odd(x, y)
+
+
+def _t_parity_match(
+    x: TermLike, u: TermLike, y: TermLike, v: TermLike
+) -> Formula:
+    return (_t_even(x, u) & _t_even(y, v)) | (_t_odd(x, u) & _t_odd(y, v))
+
+
+def make_bipartite_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.5(1)."""
+    x, y = "x", "y"
+
+    # ---- Insert(E, a, b) ----
+    odd_ins = Odd(x, y) | (
+        ~same_tree(_A, _B)
+        & exists(
+            "u v",
+            eq2("u", "v", _A, _B)
+            & same_tree(x, "u")
+            & same_tree("v", y)
+            & _parity_match(x, "u", y, "v"),
+        )
+    )
+    ins_temps, ins_defs = forest_insert_parts()
+    insert_rule = UpdateRule(
+        params=("a", "b"),
+        temporaries=ins_temps,
+        definitions=ins_defs + (RelationDef("Odd", (x, y), odd_ins),),
+    )
+
+    # ---- Delete(E, a, b) ----
+    severed = F(_A, _B)
+    kept = severed_path(x, y, x) & Odd(x, y)
+    rebridged = exists(
+        "u v",
+        (replacement_edge("u", "v") | replacement_edge("v", "u"))
+        & severed_same_tree(x, "u")
+        & severed_same_tree(y, "v")
+        & _t_parity_match(x, "u", y, "v"),
+    )
+    odd_del = (~severed & Odd(x, y)) | (severed & (kept | rebridged))
+    del_temps, del_defs = forest_delete_parts()
+    delete_rule = UpdateRule(
+        params=("a", "b"),
+        temporaries=del_temps,
+        definitions=del_defs + (RelationDef("Odd", (x, y), odd_del),),
+    )
+
+    queries = {
+        "bipartite": Query(
+            "bipartite", forall("x y", E("x", "y") >> Odd("x", "y"))
+        ),
+        "odd": Query("odd", Odd(x, y), frame=(x, y)),
+        "connected": Query("connected", PV(x, y, x), frame=(x, y)),
+        "forest": Query("forest", F(x, y), frame=(x, y)),
+    }
+
+    return DynFOProgram(
+        name="bipartite",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        symmetric_inputs=frozenset({"E"}),
+        notes="Theorem 4.5(1): Odd-parity forest paths over Theorem 4.1.",
+    )

@@ -1,0 +1,181 @@
+"""The Dyck languages D^k are in Dyn-FO (Proposition 4.8).
+
+The word lives on positions 0..n-1: input relations ``L1..Lk`` and
+``R1..Rk`` mark left / right parentheses of each type; empty positions are
+the empty string.  Following the paper's *level trick*, the auxiliary
+structure maintains the prefix height
+
+    h(q) = #left parens at positions <= q  -  #right parens at positions <= q
+
+split into two relations because h can dip negative while the levels are
+being edited:
+
+* ``Hp(q, l)`` — h(q) = l  (l >= 0);
+* ``Hn(q, j)`` — h(q) = -(j + 1).
+
+Inserting a left parenthesis at p adds one to h(q) for every q >= p (and
+symmetrically for right parentheses / deletions) — exactly the paper's
+"insertion of a left parenthesis at position p causes a one to be added to
+the level of each position q >= p", a first-order shift along the successor
+relation.  Contract: at most one token per position, and fewer than n tokens
+in total (so h never reaches n).
+
+Membership (the paper's criterion): all levels nonnegative, the final level
+is zero, and every left parenthesis has a matching right parenthesis of the
+same type, where the match of l is the first r > l whose height returns to
+h(l) - 1.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, exists, forall, le, lt
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, Or, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_dyck_program", "left_relation", "right_relation"]
+
+Hp = Rel("Hp")
+Hn = Rel("Hn")
+_P = c("p")
+
+
+def left_relation(ptype: int) -> str:
+    return f"L{ptype}"
+
+
+def right_relation(ptype: int) -> str:
+    return f"R{ptype}"
+
+
+def _succ(u: TermLike, v: TermLike) -> Formula:
+    """v = u + 1 in the ordering."""
+    return lt(u, v) & forall("ws", lt(u, "ws") >> le(v, "ws"))
+
+
+# -- height shifts --------------------------------------------------------------
+
+
+def _height_up() -> tuple[RelationDef, RelationDef]:
+    """(Hp', Hn') when h(q) += 1 for q >= p."""
+    q, l, j = "q", "l", "j"
+    hp = (lt(q, _P) & Hp(q, l)) | (
+        le(_P, q)
+        & (
+            exists("l0", Hp(q, "l0") & _succ("l0", l))
+            | (Hn(q, 0) & eq(l, 0))
+        )
+    )
+    hn = (lt(q, _P) & Hn(q, j)) | (
+        le(_P, q) & exists("j0", Hn(q, "j0") & _succ(j, "j0"))
+    )
+    return RelationDef("Hp", (q, l), hp), RelationDef("Hn", (q, j), hn)
+
+
+def _height_down() -> tuple[RelationDef, RelationDef]:
+    """(Hp', Hn') when h(q) -= 1 for q >= p."""
+    q, l, j = "q", "l", "j"
+    hp = (lt(q, _P) & Hp(q, l)) | (
+        le(_P, q) & exists("l0", Hp(q, "l0") & _succ(l, "l0"))
+    )
+    hn = (lt(q, _P) & Hn(q, j)) | (
+        le(_P, q)
+        & (
+            exists("j0", Hn(q, "j0") & _succ("j0", j))
+            | (Hp(q, 0) & eq(j, 0))
+        )
+    )
+    return RelationDef("Hp", (q, l), hp), RelationDef("Hn", (q, j), hn)
+
+
+def make_dyck_program(k: int) -> DynFOProgram:
+    """Build the Dyn-FO program of Proposition 4.8 for D^k."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    types = range(1, k + 1)
+    sym_names = [left_relation(t) for t in types] + [
+        right_relation(t) for t in types
+    ]
+    input_vocab = Vocabulary.make(relations=[(s, 1) for s in sym_names])
+    aux_vocab = input_vocab.extend(relations=[("Hp", 2), ("Hn", 2)])
+
+    def initial(n: int) -> Structure:
+        structure = Structure.initial(aux_vocab, n)
+        structure.set_relation("Hp", {(q, 0) for q in range(n)})
+        return structure
+
+    on_insert: dict[str, UpdateRule] = {}
+    on_delete: dict[str, UpdateRule] = {}
+    for name in sym_names:
+        sym = Rel(name)
+        is_left = name.startswith("L")
+        own_ins = RelationDef(name, ("x",), sym("x") | eq("x", _P))
+        own_del = RelationDef(name, ("x",), sym("x") & ~eq("x", _P))
+        up, down = _height_up(), _height_down()
+        on_insert[name] = UpdateRule(
+            params=("p",), definitions=(own_ins,) + (up if is_left else down)
+        )
+        on_delete[name] = UpdateRule(
+            params=("p",), definitions=(own_del,) + (down if is_left else up)
+        )
+
+    # -- the membership sentence --------------------------------------------
+
+    def height_ge(q1: TermLike, q2: TermLike) -> Formula:
+        """h(q1) >= h(q2)."""
+        return (
+            exists("ha hb", Hp(q1, "ha") & Hp(q2, "hb") & le("hb", "ha"))
+            | exists("ha hj", Hp(q1, "ha") & Hn(q2, "hj"))
+            | exists("hi hj", Hn(q1, "hi") & Hn(q2, "hj") & le("hi", "hj"))
+        )
+
+    def height_drop(l: TermLike, r: TermLike) -> Formula:
+        """h(r) = h(l) - 1."""
+        return (
+            exists("da db", Hp(l, "da") & Hp(r, "db") & _succ("db", "da"))
+            | (Hp(l, 0) & Hn(r, 0))
+            | exists("di dj", Hn(l, "di") & Hn(r, "dj") & _succ("di", "dj"))
+        )
+
+    def match(l: TermLike, r: TermLike) -> Formula:
+        first_return = forall(
+            "mm", (le(l, "mm") & lt("mm", r)) >> height_ge("mm", l)
+        )
+        return lt(l, r) & height_drop(l, r) & first_return
+
+    nonneg = forall("qn", ~exists("jn", Hn("qn", "jn")))
+    balanced = Hp(c("max"), 0)
+    typed_matches = []
+    for t in types:
+        left, right = Rel(left_relation(t)), Rel(right_relation(t))
+        typed_matches.append(
+            forall(
+                "lp", left("lp") >> exists("rp", right("rp") & match("lp", "rp"))
+            )
+        )
+    member = nonneg & balanced
+    for clause in typed_matches:
+        member = member & clause
+
+    queries = {
+        "member": Query("member", member),
+        "height": Query("height", Hp("q", "l"), frame=("q", "l")),
+        "height_negative": Query(
+            "height_negative", Hn("q", "j"), frame=("q", "j")
+        ),
+    }
+
+    return DynFOProgram(
+        name=f"dyck_{k}",
+        input_vocabulary=input_vocab,
+        aux_vocabulary=aux_vocab,
+        initial=initial,
+        on_insert=on_insert,
+        on_delete=on_delete,
+        queries=queries,
+        notes=(
+            "Proposition 4.8: prefix heights shifted in FO; membership via "
+            "the level trick.  Needs < n tokens in total."
+        ),
+    )

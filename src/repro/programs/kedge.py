@@ -1,0 +1,175 @@
+"""k-edge connectivity, for fixed k, is in Dyn-FO (Theorem 4.5(2)).
+
+The auxiliary structure is exactly the spanning forest of Theorem 4.1 —
+insertions and deletions are handled by the same rules.  The *query* is
+where the theorem earns its keep: "is the graph k-edge connected?" is the
+first-order sentence obtained by universally quantifying over k-1 edges and
+composing the single-deletion update formula k-1 times::
+
+    forall a1 b1 .. a_{k-1} b_{k-1} .
+      forall x y . (active(x) & active(y) & x != y) -> connected_{k-1}(x, y)
+
+where ``connected_d`` reads the PV relation of the d-fold composed delete
+rule and ``active`` means "touches an edge" in the *current* graph.  By
+Menger's theorem this matches "every active pair is joined by >= k
+edge-disjoint paths", which is what the max-flow oracle checks.
+
+``k_edge_connectivity_sentence`` builds that single FO sentence (useful for
+the depth/size metrics of experiment E16).  Because its 2(k-1) outer
+universal variables make one-shot evaluation expensive, ``KEdgeAnalyzer``
+evaluates it the way a CRAM would schedule it: the outer block is enumerated
+(in parallel, on the paper's model) over d-tuples of current edges, each
+instance being the composed formula with the deletion parameters bound as
+constants.  Both paths are pure first-order evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..dynfo.compose import compose_rule
+from ..dynfo.engine import DynFOEngine
+from ..dynfo.program import DynFOProgram, Query, UpdateRule, inline_temporaries
+from ..logic.dsl import Rel, c, eq, exists, forall, neq
+from ..logic.structure import Structure
+from ..logic.syntax import Const, Formula, Var
+from ..logic.transform import substitute_constants
+from ..logic.vocabulary import Vocabulary
+from .reach_u import (
+    AUX_VOCABULARY,
+    E,
+    INPUT_VOCABULARY,
+    forest_delete_parts,
+    forest_insert_parts,
+)
+
+__all__ = [
+    "make_kedge_program",
+    "k_edge_connectivity_sentence",
+    "KEdgeAnalyzer",
+]
+
+
+def _active(x: str, edge_formula: Formula | None = None) -> Formula:
+    return exists("wact", E(x, "wact"))
+
+
+def _composed_connectivity(deletions: int) -> Formula:
+    """``connected_d(x, y)`` — x, y still connected after the d hypothetical
+    deletions with parameters a1..ad, b1..bd (as symbolic constants)."""
+    del_temps, del_defs = forest_delete_parts()
+    delete_rule = inline_temporaries(
+        UpdateRule(params=("a", "b"), definitions=del_defs, temporaries=del_temps)
+    )
+    composed = compose_rule(delete_rule, deletions)
+    if not composed:  # d = 0: read PV directly
+        return eq("x", "y") | Rel("PV")("x", "y", "x")
+    pv_frame, pv_formula = composed["PV"]
+    # instantiate PV_d(x, y, x)
+    from ..logic.transform import standardize_apart, substitute
+
+    body = standardize_apart(pv_formula, avoid=("x", "y"))
+    mapping = dict(zip(pv_frame, (Var("x"), Var("y"), Var("x"))))
+    return eq("x", "y") | substitute(body, mapping)
+
+
+def k_edge_connectivity_sentence(k: int) -> Formula:
+    """The single FO sentence "the graph is k-edge connected" (k >= 1)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    deletions = k - 1
+    connected = _composed_connectivity(deletions)
+    body = (
+        (_active("x") & _active("y") & neq("x", "y")) >> connected
+    )
+    sentence: Formula = forall("x y", body)
+    for level in range(deletions, 0, -1):
+        # turn the level's parameter constants into quantified variables
+        sentence = substitute_constants(
+            sentence,
+            {f"a{level}": Var(f"qa{level}"), f"b{level}": Var(f"qb{level}")},
+        )
+        sentence = forall((f"qa{level}", f"qb{level}"), sentence)
+    return sentence
+
+
+def make_kedge_program() -> DynFOProgram:
+    """The maintenance side of Theorem 4.5(2): identical to Theorem 4.1."""
+    ins_temps, ins_defs = forest_insert_parts()
+    del_temps, del_defs = forest_delete_parts()
+    insert_rule = UpdateRule(
+        params=("a", "b"), definitions=ins_defs, temporaries=ins_temps
+    )
+    delete_rule = UpdateRule(
+        params=("a", "b"), definitions=del_defs, temporaries=del_temps
+    )
+    x, y = "x", "y"
+    queries = {
+        "connected": Query("connected", Rel("PV")(x, y, x), frame=(x, y)),
+        "forest": Query("forest", Rel("F")(x, y), frame=(x, y)),
+    }
+    return DynFOProgram(
+        name="k_edge_connectivity",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        symmetric_inputs=frozenset({"E"}),
+        notes="Theorem 4.5(2): forest maintenance + composed-deletion query.",
+    )
+
+
+class KEdgeAnalyzer:
+    """Evaluates the k-edge-connectivity query against a running engine.
+
+    The outer universal block over deleted edges is enumerated explicitly
+    (each instance is one evaluation of the composed first-order formula
+    with the parameters bound); a CRAM runs these instances in parallel,
+    which is why the whole query is a single constant-time parallel step.
+    """
+
+    def __init__(self, engine: DynFOEngine, max_deletions: int = 2) -> None:
+        self.engine = engine
+        self._per_deletions: dict[int, Formula] = {}
+        for d in range(max_deletions + 1):
+            connected = _composed_connectivity(d)
+            self._per_deletions[d] = forall(
+                "x y",
+                (_active("x") & _active("y") & neq("x", "y")) >> connected,
+            )
+
+    def _instance_holds(self, deletions: int, params: dict[str, int]) -> bool:
+        from ..logic.relational import RelationalEvaluator
+
+        evaluator = RelationalEvaluator(self.engine.structure, params)
+        return evaluator.truth(self._per_deletions[deletions])
+
+    def is_k_edge_connected(self, k: int) -> bool:
+        """k >= 1.  Enumerates d = k-1 deletions over current edges (with
+        repetition, covering all smaller deletion sets)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        deletions = k - 1
+        if deletions not in self._per_deletions:
+            raise ValueError(
+                f"analyzer was built for up to {max(self._per_deletions)} deletions"
+            )
+        edges = sorted(
+            {
+                (min(u, v), max(u, v))
+                for (u, v) in self.engine.structure.relation_view("E")
+                if u != v
+            }
+        )
+        if deletions == 0:
+            return self._instance_holds(0, {})
+        for combo in itertools.combinations_with_replacement(edges, deletions):
+            params: dict[str, int] = {}
+            for i, (u, v) in enumerate(combo, start=1):
+                params[f"a{i}"] = u
+                params[f"b{i}"] = v
+            if not self._instance_holds(deletions, params):
+                return False
+        return True

@@ -1,0 +1,95 @@
+"""Lowest common ancestors in directed forests are in Dyn-FO (Thm 4.5(4)).
+
+Input ``sigma = <E^2>`` — edges point parent -> child, and updates are
+promised to keep the graph a directed forest (each vertex at most one
+parent, no cycles).  A forest is acyclic, so the path relation ``P`` is
+maintained exactly as in Theorem 4.2.
+
+The query is the paper's formula (with the path relation read reflexively,
+so that every vertex is its own ancestor)::
+
+    lca(x, y, w)  :=  anc(w, x) & anc(w, y)
+                      & forall z. (anc(z, x) & anc(z, y)) -> anc(z, w)
+
+where ``anc(z, x) := z = x | P(z, x)``.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import c, eq, forall
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+from .reach_acyclic import (
+    E,
+    P,
+    path_delete_formula,
+    path_insert_formula,
+    path_or_eq,
+)
+
+__all__ = ["make_lca_program", "INPUT_VOCABULARY", "AUX_VOCABULARY", "ancestor"]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, P^2")
+
+_A, _B = c("a"), c("b")
+
+
+def ancestor(z: TermLike, x: TermLike) -> Formula:
+    """z is an ancestor of x (reflexively)."""
+    return path_or_eq(z, x)
+
+
+def lca_formula(x: TermLike, y: TermLike, w: TermLike) -> Formula:
+    """w is the lowest common ancestor of x and y."""
+    common = ancestor(w, x) & ancestor(w, y)
+    lowest = forall(
+        "z", (ancestor("z", x) & ancestor("z", y)) >> ancestor("z", w)
+    )
+    return common & lowest
+
+
+def make_lca_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.5(4)."""
+    x, y = "x", "y"
+
+    insert_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), E(x, y) | (eq(x, _A) & eq(y, _B))),
+            RelationDef("P", (x, y), path_insert_formula(x, y)),
+        ),
+    )
+    delete_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), E(x, y) & ~(eq(x, _A) & eq(y, _B))),
+            RelationDef("P", (x, y), path_delete_formula(x, y)),
+        ),
+    )
+
+    queries = {
+        # the full LCA relation: (x, y, w) with w = lca(x, y)
+        "lca": Query("lca", lca_formula(x, y, "w"), frame=(x, y, "w")),
+        # pointwise: the lca of two given vertices (empty if disjoint trees)
+        "lca_of": Query(
+            "lca_of",
+            lca_formula(c("u"), c("v"), "w"),
+            frame=("w",),
+            params=("u", "v"),
+        ),
+        "paths": Query("paths", P(x, y), frame=(x, y)),
+    }
+
+    return DynFOProgram(
+        name="lca",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        notes="Theorem 4.5(4); requires a directed-forest history.",
+    )

@@ -1,0 +1,148 @@
+"""Maximal matching is in Dyn-FO (Theorem 4.5(3)).
+
+The auxiliary structure is just the (symmetric) relation ``Match``.  The
+answer is not unique — any maximal matching is acceptable — so verification
+checks validity + maximality rather than set equality.
+
+* ``Insert(E, a, b)``: add (a, b) to the matching iff both endpoints are
+  currently free (and a != b)::
+
+      Match'(x, y) := Match(x, y) | (Eq(x, y, a, b) & a != b & ~MP(a) & ~MP(b))
+
+  with ``MP(x) := exists z. Match(x, z)``.
+
+* ``Delete(E, a, b)``: if (a, b) was matched, both endpoints become free and
+  are greedily re-matched — ``a`` takes its least free neighbor (if any),
+  then ``b`` takes its least free neighbor not claimed by ``a``.  Both picks
+  are written as one simultaneous first-order update.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, eq2, exists, forall, le, neq
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_matching_program", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, Match^2")
+
+E = Rel("E")
+Match = Rel("Match")
+_A, _B = c("a"), c("b")
+
+
+def _matched(x: TermLike) -> Formula:
+    """The paper's ``MP(x)``: x is matched."""
+    return exists("zm", Match(x, "zm"))
+
+
+def _free_after_unmatch(u: TermLike) -> Formula:
+    """u is unmatched once the pair (a, b) is removed from the matching."""
+    return ~exists("zf", Match(u, "zf") & ~eq2(u, "zf", _A, _B))
+
+
+def _survives(x: TermLike, y: TermLike) -> Formula:
+    """Matching edge that outlives the deletion of graph edge (a, b)."""
+    return Match(x, y) & ~eq2(x, y, _A, _B)
+
+
+def _pick_a(u: TermLike) -> Formula:
+    """u is the least free neighbor of ``a`` after the unmatch (if any)."""
+    candidate = (
+        E(_A, u) & ~eq2(_A, u, _A, _B) & neq(u, _A) & _free_after_unmatch(u)
+    )
+    minimal = forall(
+        "w",
+        (E(_A, "w") & ~eq2(_A, "w", _A, _B) & neq("w", _A) & _free_after_unmatch("w"))
+        >> le(u, "w"),
+    )
+    return candidate & minimal
+
+
+def _pick_b(v: TermLike) -> Formula:
+    """v is the least free neighbor of ``b`` not claimed by ``a``'s pick."""
+    candidate = (
+        E(_B, v)
+        & ~eq2(_B, v, _A, _B)
+        & neq(v, _B)
+        & _free_after_unmatch(v)
+        & ~_pick_a(v)
+        & neq(v, _A)  # `a` itself is being re-matched or left to its pick
+    )
+    minimal = forall(
+        "w2",
+        (
+            E(_B, "w2")
+            & ~eq2(_B, "w2", _A, _B)
+            & neq("w2", _B)
+            & _free_after_unmatch("w2")
+            & ~_pick_a("w2")
+            & neq("w2", _A)
+        )
+        >> le(v, "w2"),
+    )
+    return candidate & minimal
+
+
+def make_matching_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.5(3)."""
+    x, y = "x", "y"
+
+    # ---- Insert(E, a, b) ----
+    e_ins = E(x, y) | eq2(x, y, _A, _B)
+    match_ins = Match(x, y) | (
+        eq2(x, y, _A, _B) & neq(_A, _B) & ~_matched(_A) & ~_matched(_B)
+    )
+    insert_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), e_ins),
+            RelationDef("Match", (x, y), match_ins),
+        ),
+    )
+
+    # ---- Delete(E, a, b) ----
+    e_del = E(x, y) & ~eq2(x, y, _A, _B)
+    was_matched = Match(_A, _B)
+    repair = (
+        (eq(x, _A) & _pick_a(y))
+        | (eq(y, _A) & _pick_a(x))
+        | (eq(x, _B) & _pick_b(y))
+        | (eq(y, _B) & _pick_b(x))
+    )
+    match_del = (~was_matched & Match(x, y)) | (
+        was_matched & (_survives(x, y) | repair)
+    )
+    delete_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), e_del),
+            RelationDef("Match", (x, y), match_del),
+        ),
+    )
+
+    queries = {
+        "matching": Query("matching", Match(x, y), frame=(x, y)),
+        "is_matched": Query(
+            "is_matched", _matched(c("v")), frame=(), params=("v",)
+        ),
+    }
+
+    return DynFOProgram(
+        name="maximal_matching",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        symmetric_inputs=frozenset({"E"}),
+        notes=(
+            "Theorem 4.5(3).  The maintained matching is maximal but not "
+            "canonical; the verification checks validity and maximality."
+        ),
+    )

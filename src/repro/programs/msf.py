@@ -1,0 +1,282 @@
+"""Minimum spanning forests are in (memoryless) Dyn-FO (Theorem 4.4).
+
+Input ``sigma = <Ew^3>``: ``Ew(x, y, w)`` is a (symmetric) edge {x, y} of
+weight ``w`` (a universe element).  Contract: at most one weight per edge at
+any time — change a weight by deleting and re-inserting.
+
+The auxiliary relations are the spanning-forest pair F/PV of Theorem 4.1,
+except the forest maintained is the *minimum* spanning forest under the key
+
+    key(u, v, w)  =  (w, min(u,v), max(u,v))    (lexicographic)
+
+— weight first, endpoints as the paper's footnote-2 ordering tie-break, so
+the forest is unique and the program memoryless (Kruskal's forest under the
+same key, which is exactly what the oracle recomputes).
+
+* ``Insert(Ew, a, b, w)``: if a, b lie in different trees the edge joins the
+  forest (as in Theorem 4.1).  If they are already connected, the maximum-key
+  edge on the forest path a..b (temporary ``MaxP``) is located; when
+  key(a,b,w) beats it, that edge is swapped out for (a, b) and PV is rewired
+  through the new edge via the temporary ``T2`` (PV with the swapped-out
+  edge severed).
+* ``Delete(Ew, a, b, w)``: a non-forest edge only leaves Ew; a forest edge
+  is severed (temporary ``TD``) and the *minimum-key* surviving edge across
+  the cut (temporary ``NewW``), if any, is swapped in — Theorem 4.1's delete
+  ordered by key instead of by endpoints.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, eq2, exists, forall, le, lt, neq
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_msf_program", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("Ew^3")
+AUX_VOCABULARY = Vocabulary.parse("Ew^3, F^2, PV^3")
+
+Ew = Rel("Ew")
+F = Rel("F")
+PV = Rel("PV")
+# insert-side temporaries
+MaxP = Rel("MaxP")  # the maximum-key forest edge on the path a..b
+T2 = Rel("T2")  # PV with the MaxP edge severed
+# delete-side temporaries
+TD = Rel("TD")  # PV with the deleted forest edge severed
+NewW = Rel("NewW")  # the minimum-key replacement edge across the cut
+_A, _B, _W = c("a"), c("b"), c("w")
+
+
+def _same_tree(x: TermLike, y: TermLike) -> Formula:
+    return eq(x, y) | PV(x, y, x)
+
+
+def _segment(x: TermLike, u: TermLike, z: TermLike) -> Formula:
+    return (eq(x, u) & eq(z, u)) | PV(x, u, z)
+
+
+def _key_lt(
+    u1: TermLike, v1: TermLike, w1: TermLike,
+    u2: TermLike, v2: TermLike, w2: TermLike,
+) -> Formula:
+    """key(u1,v1,w1) < key(u2,v2,w2); both edges canonically ordered u < v."""
+    return (
+        lt(w1, w2)
+        | (eq(w1, w2) & lt(u1, u2))
+        | (eq(w1, w2) & eq(u1, u2) & lt(v1, v2))
+    )
+
+
+def _param_key_lt(u2: TermLike, v2: TermLike, w2: TermLike) -> Formula:
+    """key(a, b, w) < key(u2, v2, w2) with the parameter pair canonicalized
+    by case split on a <= b."""
+    return (le(_A, _B) & _key_lt(_A, _B, _W, u2, v2, w2)) | (
+        lt(_B, _A) & _key_lt(_B, _A, _W, u2, v2, w2)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Insert
+# ---------------------------------------------------------------------------
+
+
+def _on_path(c2: TermLike, d2: TermLike, w2: TermLike) -> Formula:
+    """A forest edge on the path a..b, canonically ordered, with its weight."""
+    return (
+        F(c2, d2)
+        & lt(c2, d2)
+        & Ew(c2, d2, w2)
+        & PV(_A, _B, c2)
+        & PV(_A, _B, d2)
+    )
+
+
+OnP = Rel("OnP")  # temporary: materialized _on_path (forest edges on a..b)
+
+
+def _max_on_path(cc: str, dd: str, ww: str) -> Formula:
+    """(cc, dd, ww) is the maximum-key forest edge on the path a..b (read
+    from the materialized OnP temporary, so the universal check is cheap)."""
+    dominates = forall(
+        "c2 d2 w2",
+        OnP("c2", "d2", "w2")
+        >> (
+            (eq("c2", cc) & eq("d2", dd))
+            | _key_lt("c2", "d2", "w2", cc, dd, ww)
+        ),
+    )
+    return OnP(cc, dd, ww) & dominates
+
+
+def _insert_rule() -> UpdateRule:
+    x, y, z = "x", "y", "z"
+    temporaries = (
+        RelationDef("OnP", ("c2", "d2", "w2"), _on_path("c2", "d2", "w2")),
+        RelationDef("MaxP", ("cs", "ds", "ws"), _max_on_path("cs", "ds", "ws")),
+        RelationDef(
+            "T2",
+            (x, y, z),
+            PV(x, y, z)
+            & ~exists(
+                "cs ds ws", MaxP("cs", "ds", "ws") & PV(x, y, "cs") & PV(x, y, "ds")
+            ),
+        ),
+    )
+
+    fresh = ~exists("wf", Ew(_A, _B, "wf"))  # no prior {a, b} edge
+    proper = fresh & neq(_A, _B)
+    joins = proper & ~_same_tree(_A, _B)
+    # swap: a, b already connected and (a, b, w) beats the worst path edge
+    beats = exists(
+        "cs ds ws", MaxP("cs", "ds", "ws") & _param_key_lt("cs", "ds", "ws")
+    )
+    swap = proper & _same_tree(_A, _B) & beats
+
+    ew_ins = Ew(x, y, z) | (eq2(x, y, _A, _B) & eq(z, _W))
+
+    f_ins = (
+        (F(x, y) & ~swap)
+        | (swap & F(x, y) & ~exists("ws", MaxP(x, y, "ws") | MaxP(y, x, "ws")))
+        | (eq2(x, y, _A, _B) & (joins | swap))
+    )
+
+    def t2_same(p: TermLike, u: TermLike) -> Formula:
+        return eq(p, u) | T2(p, u, p)
+
+    def t2_seg(p: TermLike, u: TermLike, r: TermLike) -> Formula:
+        return (eq(p, u) & eq(r, u)) | T2(p, u, r)
+
+    pv_join = exists(
+        "u v",
+        eq2("u", "v", _A, _B)
+        & _same_tree(x, "u")
+        & _same_tree("v", y)
+        & (_segment(x, "u", z) | _segment("v", y, z)),
+    )
+    pv_swap = T2(x, y, z) | exists(
+        "u v",
+        eq2("u", "v", _A, _B)
+        & t2_same(x, "u")
+        & t2_same(y, "v")
+        & (t2_seg(x, "u", z) | t2_seg(y, "v", z)),
+    )
+    pv_ins = (
+        (PV(x, y, z) & ~joins & ~swap)
+        | (joins & (PV(x, y, z) | pv_join))
+        | (swap & pv_swap)
+    )
+
+    return UpdateRule(
+        params=("a", "b", "w"),
+        temporaries=temporaries,
+        definitions=(
+            RelationDef("Ew", (x, y, z), ew_ins),
+            RelationDef("F", (x, y), f_ins),
+            RelationDef("PV", (x, y, z), pv_ins),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Delete
+# ---------------------------------------------------------------------------
+
+
+def _td_same(x: TermLike, u: TermLike) -> Formula:
+    return eq(x, u) | TD(x, u, x)
+
+
+def _td_seg(x: TermLike, u: TermLike, z: TermLike) -> Formula:
+    return (eq(x, u) & eq(z, u)) | TD(x, u, z)
+
+
+CandR = Rel("CandR")  # temporary: materialized crossing-edge candidates
+
+
+def _cand(u: TermLike, v: TermLike, wv: TermLike) -> Formula:
+    """A surviving edge crossing the severed cut, canonically ordered."""
+    survives = Ew(u, v, wv) & ~(eq2(u, v, _A, _B) & eq(wv, _W))
+    crosses = (_td_same(u, _A) & _td_same(v, _B)) | (
+        _td_same(u, _B) & _td_same(v, _A)
+    )
+    return survives & lt(u, v) & crosses
+
+
+def _min_crossing(u: str, v: str) -> Formula:
+    """The minimum-key crossing edge (over the materialized candidates)."""
+    minimal = forall(
+        "u2 v2 w2",
+        CandR("u2", "v2", "w2")
+        >> (
+            (eq("u2", u) & eq("v2", v))
+            | exists("wn", CandR(u, v, "wn") & _key_lt(u, v, "wn", "u2", "v2", "w2"))
+        ),
+    )
+    return exists("wc", CandR(u, v, "wc")) & minimal
+
+
+def _delete_rule() -> UpdateRule:
+    x, y, z = "x", "y", "z"
+    temporaries = (
+        RelationDef(
+            "TD", (x, y, z), PV(x, y, z) & ~(PV(x, y, _A) & PV(x, y, _B))
+        ),
+        RelationDef("CandR", ("u2", "v2", "w2"), _cand("u2", "v2", "w2")),
+        RelationDef("NewW", ("u", "v"), _min_crossing("u", "v")),
+    )
+
+    severed = F(_A, _B)
+    ew_del = Ew(x, y, z) & ~(eq2(x, y, _A, _B) & eq(z, _W))
+
+    cross = NewW(x, y) | NewW(y, x)
+    f_del = (~severed & F(x, y)) | (
+        severed & ((F(x, y) & ~eq2(x, y, _A, _B)) | cross)
+    )
+
+    bridged = exists(
+        "u v",
+        (NewW("u", "v") | NewW("v", "u"))
+        & _td_same(x, "u")
+        & _td_same(y, "v")
+        & (_td_seg(x, "u", z) | _td_seg(y, "v", z)),
+    )
+    pv_del = (~severed & PV(x, y, z)) | (severed & (TD(x, y, z) | bridged))
+
+    return UpdateRule(
+        params=("a", "b", "w"),
+        temporaries=temporaries,
+        definitions=(
+            RelationDef("Ew", (x, y, z), ew_del),
+            RelationDef("F", (x, y), f_del),
+            RelationDef("PV", (x, y, z), pv_del),
+        ),
+    )
+
+
+def make_msf_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.4."""
+    x, y = "x", "y"
+    queries = {
+        "forest": Query("forest", F(x, y), frame=(x, y)),
+        "connected": Query("connected", PV(x, y, x), frame=(x, y)),
+        "reach": Query(
+            "reach", _same_tree(c("s"), c("t")), frame=(), params=("s", "t")
+        ),
+    }
+    return DynFOProgram(
+        name="msf",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"Ew": _insert_rule()},
+        on_delete={"Ew": _delete_rule()},
+        queries=queries,
+        symmetric_inputs=frozenset({"Ew"}),
+        notes=(
+            "Theorem 4.4: the maintained forest equals Kruskal's under the "
+            "(weight, endpoints) key, hence memoryless."
+        ),
+    )

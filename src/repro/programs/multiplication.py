@@ -1,0 +1,170 @@
+"""Multiplication is in Dyn-FO (Proposition 4.7).
+
+Two numbers are stored as unary bit relations ``X`` and ``Y`` over the
+positions 0..n-1; the auxiliary relation ``Pr`` holds the bits of the
+product X * Y.  Contract: callers only set bits at positions < n // 2, so
+shifted summands and the product itself fit in n bits.
+
+Setting bit ``p`` of X to 1 adds ``Y << p`` to the product; clearing it
+subtracts the same summand — the paper's two cases, realized as the classic
+FO carry / borrow lookahead formulas:
+
+    carry(k)  := exists j < k. (A(j) & B(j) & forall m in (j,k). A(m) | B(m))
+    borrow(k) := exists j < k. (~A(j) & B(j) & forall m in (j,k). ~(A(m) & ~B(m)))
+
+with the sum / difference bit ``A(k) xor B(k) xor carry/borrow(k)``.
+
+The shifted summand needs position arithmetic: ``sh(k) := exists j. Y(j) &
+j + p = k``.  Addition of positions is famously FO-definable from BIT (see
+:func:`plus_formula`, which spells the carry-lookahead definition out over
+BIT); since it is therefore part of the FO-computable initial structure, we
+precompute it once as the auxiliary relation ``PlusR(x, y, z)`` ("x + y =
+z") instead of re-deriving it per update — the tests check ``PlusR`` against
+the pure-BIT formula.  This keeps the program inside plain Dyn-FO: the
+initial structure remains first-order definable (Definition 3.1, cond. 4).
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, bit, c, eq, exists, forall, lt
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, Iff, Not, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_multiplication_program", "plus_formula", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("X^1, Y^1")
+AUX_VOCABULARY = Vocabulary.parse("X^1, Y^1, Pr^1, PlusR^3")
+
+X = Rel("X")
+Y = Rel("Y")
+Pr = Rel("Pr")
+PlusR = Rel("PlusR")
+Sh = Rel("Sh")  # temporary: the shifted summand
+CB = Rel("CB")  # temporary: carry (on insert) / borrow (on delete) bits
+_P = c("p")
+
+
+def _xor(a: Formula, b: Formula) -> Formula:
+    return Not(Iff(a, b))
+
+
+def plus_formula(x: str = "x", y: str = "y", z: str = "z") -> Formula:
+    """``x + y = z`` defined purely from BIT and < (carry lookahead over the
+    binary encodings) — the first-order definition justifying PlusR."""
+    def carry(k: TermLike) -> Formula:
+        return exists(
+            "jc",
+            lt("jc", k)
+            & bit(x, "jc")
+            & bit(y, "jc")
+            & forall(
+                "mc",
+                (lt("jc", "mc") & lt("mc", k)) >> (bit(x, "mc") | bit(y, "mc")),
+            ),
+        )
+
+    return forall(
+        "kb", Iff(bit(z, "kb"), _xor(_xor(bit(x, "kb"), bit(y, "kb")), carry("kb")))
+    )
+
+
+def _initial(n: int) -> Structure:
+    structure = Structure.initial(AUX_VOCABULARY, n)
+    structure.set_relation(
+        "PlusR",
+        {
+            (x, y, x + y)
+            for x in range(n)
+            for y in range(n)
+            if x + y < n
+        },
+    )
+    return structure
+
+
+def _shift_def(source: Rel) -> RelationDef:
+    """Sh(k) := bit k of (source << p)."""
+    return RelationDef(
+        "Sh", ("k",), exists("js", source("js") & PlusR("js", _P, "k"))
+    )
+
+
+def _carry_def() -> RelationDef:
+    """CB(k) := carry into position k of Pr + Sh."""
+    body = exists(
+        "j",
+        lt("j", "k")
+        & Pr("j")
+        & Sh("j")
+        & forall("m", (lt("j", "m") & lt("m", "k")) >> (Pr("m") | Sh("m"))),
+    )
+    return RelationDef("CB", ("k",), body)
+
+
+def _borrow_def() -> RelationDef:
+    """CB(k) := borrow into position k of Pr - Sh (Pr >= Sh always holds)."""
+    body = exists(
+        "j",
+        lt("j", "k")
+        & ~Pr("j")
+        & Sh("j")
+        & forall(
+            "m", (lt("j", "m") & lt("m", "k")) >> ~(Pr("m") & ~Sh("m"))
+        ),
+    )
+    return RelationDef("CB", ("k",), body)
+
+
+def _rules_for(source_name: str, other: Rel) -> tuple[UpdateRule, UpdateRule]:
+    """(insert, delete) rules for setting/clearing a bit of ``source_name``;
+    ``other`` is the factor whose shifted copy is added / subtracted."""
+    source = Rel(source_name)
+    k = "k"
+    changed_sum = _xor(_xor(Pr(k), Sh(k)), CB(k))
+
+    bits_ins = RelationDef(source_name, ("x2",), source("x2") | eq("x2", _P))
+    pr_ins = RelationDef(
+        "Pr", (k,), (source(_P) & Pr(k)) | (~source(_P) & changed_sum)
+    )
+    insert_rule = UpdateRule(
+        params=("p",),
+        temporaries=(_shift_def(other), _carry_def()),
+        definitions=(bits_ins, pr_ins),
+    )
+
+    bits_del = RelationDef(source_name, ("x2",), source("x2") & ~eq("x2", _P))
+    pr_del = RelationDef(
+        "Pr", (k,), (~source(_P) & Pr(k)) | (source(_P) & changed_sum)
+    )
+    delete_rule = UpdateRule(
+        params=("p",),
+        temporaries=(_shift_def(other), _borrow_def()),
+        definitions=(bits_del, pr_del),
+    )
+    return insert_rule, delete_rule
+
+
+def make_multiplication_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Proposition 4.7."""
+    x_ins, x_del = _rules_for("X", Y)
+    y_ins, y_del = _rules_for("Y", X)
+    queries = {
+        "product_bits": Query("product_bits", Pr("k"), frame=("k",)),
+        "x_bits": Query("x_bits", X("k"), frame=("k",)),
+        "y_bits": Query("y_bits", Y("k"), frame=("k",)),
+    }
+    return DynFOProgram(
+        name="multiplication",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=_initial,
+        on_insert={"X": x_ins, "Y": y_ins},
+        on_delete={"X": x_del, "Y": y_del},
+        queries=queries,
+        notes=(
+            "Proposition 4.7.  Bit positions must stay below n // 2 so "
+            "summands fit; PlusR is the FO-definable addition table."
+        ),
+    )

@@ -1,0 +1,60 @@
+"""PARITY is in Dyn-FO (Example 3.2 of the paper).
+
+Input vocabulary ``sigma = <M^1>``: a binary string of length ``n``, with
+``M(i)`` meaning bit ``i`` is one.  Auxiliary vocabulary ``tau = <M^1, b^0>``
+where the nullary relation ``b`` (the paper's boolean constant) holds iff the
+string has an odd number of ones.
+
+The update formulas are the paper's verbatim:
+
+* ``ins(M, a)``: ``M'(x) := M(x) | x = a`` and
+  ``b' := (b & M(a)) | (~b & ~M(a))`` — the bit toggles exactly when the
+  request actually changes the string.
+* ``del(M, a)``: ``M'(x) := M(x) & x != a`` and
+  ``b' := (b & ~M(a)) | (~b & M(a))``.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, neq
+from ..logic.structure import Structure
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_parity_program", "INPUT_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("M^1")
+AUX_VOCABULARY = Vocabulary.parse("M^1, b^0")
+
+_M = Rel("M")
+_B = Rel("b")
+_A = c("a")
+
+
+def make_parity_program() -> DynFOProgram:
+    """Build the Dyn-FO program for PARITY."""
+    x = "x"
+    insert_rule = UpdateRule(
+        params=("a",),
+        definitions=(
+            RelationDef("M", (x,), _M(x) | eq(x, _A)),
+            RelationDef("b", (), (_B() & _M(_A)) | (~_B() & ~_M(_A))),
+        ),
+    )
+    delete_rule = UpdateRule(
+        params=("a",),
+        definitions=(
+            RelationDef("M", (x,), _M(x) & neq(x, _A)),
+            RelationDef("b", (), (_B() & ~_M(_A)) | (~_B() & _M(_A))),
+        ),
+    )
+    return DynFOProgram(
+        name="parity",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"M": insert_rule},
+        on_delete={"M": delete_rule},
+        queries={"odd": Query("odd", _B())},
+        notes="Example 3.2; PARITY is not in static FO [A83, FSS84].",
+    )

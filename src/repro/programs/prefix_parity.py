@@ -1,0 +1,79 @@
+"""Dynamic prefix parity — the [FS89] lower-bound problem, in Dyn-FO.
+
+The paper cites Fredman and Saks' Omega(log n / log log n) cell-probe lower
+bound for *dynamic prefix parity*: maintain a bit string under flips and
+answer "is the number of ones at positions <= p odd?".  The lower bound
+lives in the sequential cell-probe model; in the paper's parallel model the
+problem is comfortably first-order — a nice illustration of how the two
+dynamic models diverge.
+
+Auxiliary relation ``Podd(p)``: the prefix [0..p] contains an odd number of
+ones.  Setting bit ``a`` flips ``Podd(p)`` for every p >= a (one FO step,
+the same shift idiom as the Dyck levels of Proposition 4.8); clearing flips
+them back.  Queries: ``prefix_odd(p)`` and total ``odd`` (= Podd(max)).
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, le, lt
+from ..logic.structure import Structure
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_prefix_parity_program", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("M^1")
+AUX_VOCABULARY = Vocabulary.parse("M^1, Podd^1")
+
+M = Rel("M")
+Podd = Rel("Podd")
+_A = c("a")
+
+
+def _flip_from(p: str) -> "object":
+    """Podd'(p) after all prefixes from position a onward flip parity."""
+    return (lt(p, _A) & Podd(p)) | (le(_A, p) & ~Podd(p))
+
+
+def make_prefix_parity_program() -> DynFOProgram:
+    """Build the Dyn-FO program for dynamic prefix parity."""
+    p = "p"
+    insert_rule = UpdateRule(
+        params=("a",),
+        definitions=(
+            RelationDef("M", (p,), M(p) | eq(p, _A)),
+            # a fresh one at position a flips every prefix at or beyond a
+            RelationDef(
+                "Podd", (p,), (M(_A) & Podd(p)) | (~M(_A) & _flip_from(p))
+            ),
+        ),
+    )
+    delete_rule = UpdateRule(
+        params=("a",),
+        definitions=(
+            RelationDef("M", (p,), M(p) & ~eq(p, _A)),
+            RelationDef(
+                "Podd", (p,), (~M(_A) & Podd(p)) | (M(_A) & _flip_from(p))
+            ),
+        ),
+    )
+    queries = {
+        "prefix_odd": Query(
+            "prefix_odd", Podd(c("p0")), frame=(), params=("p0",)
+        ),
+        "odd": Query("odd", Podd(c("max"))),
+        "prefixes": Query("prefixes", Podd(p), frame=(p,)),
+    }
+    return DynFOProgram(
+        name="prefix_parity",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"M": insert_rule},
+        on_delete={"M": delete_rule},
+        queries=queries,
+        notes=(
+            "The [FS89] cell-probe lower-bound problem; first-order (hence "
+            "CRAM[1] per update) in the paper's parallel dynamic model."
+        ),
+    )

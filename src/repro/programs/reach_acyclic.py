@@ -1,0 +1,124 @@
+"""REACH restricted to acyclic graphs is in Dyn-FO (Theorem 4.2, [DS93]).
+
+Input ``sigma = <E^2>`` — a *directed* graph whose updates are promised to
+keep it acyclic for its entire history (the paper's REACH(acyclic)).  The
+auxiliary structure maintains the path relation ``P(x, y)``: there is a
+nonempty directed path from x to y.
+
+The update formulas are the paper's verbatim:
+
+* ``Insert(E, a, b)``::
+
+      P'(x, y) := P(x, y) | ((P(x, a) | x = a) & (P(b, y) | b = y))
+
+  (the paper writes ``P(x, a) & P(b, y)`` with the convention that ``P`` is
+  reflexive; we keep ``P`` irreflexive — acyclicity makes P(v, v) impossible
+  — so the endpoint cases are spelled out).
+
+* ``Delete(E, a, b)``: a surviving path from x to y either avoided (a, b),
+  witnessed by the last vertex u on it from which a is reachable and its
+  successor v::
+
+      P'(x,y) := P(x,y) & [ ~via(x,y,a,b)
+                 | exists u v. pre(x,u) & reach_a(u) & E(u,v) & ~reach_a(v)
+                              & post(v,y) & ~(u = a & v = b) ]
+
+  where ``via`` says every x-y path may cross (a, b), ``pre``/``post`` allow
+  the degenerate endpoints, and ``reach_a(u) := u = a | P(u, a)``.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, exists
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = [
+    "make_reach_acyclic_program",
+    "INPUT_VOCABULARY",
+    "AUX_VOCABULARY",
+    "path_or_eq",
+    "path_insert_formula",
+    "path_delete_formula",
+]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, P^2")
+
+E = Rel("E")
+P = Rel("P")
+_A, _B = c("a"), c("b")
+
+
+def path_or_eq(x: TermLike, y: TermLike) -> Formula:
+    """Reflexive path relation: x = y or a nonempty path x -> y."""
+    return eq(x, y) | P(x, y)
+
+
+def path_insert_formula(x: str = "x", y: str = "y") -> Formula:
+    """``P'`` after ``Insert(E, a, b)`` (free variables x, y; params a, b)."""
+    return P(x, y) | (path_or_eq(x, _A) & path_or_eq(_B, y))
+
+
+def path_delete_formula(x: str = "x", y: str = "y") -> Formula:
+    """``P'`` after ``Delete(E, a, b)``.
+
+    u is the last vertex on a surviving x -> y path from which a is
+    reachable; v its successor, past a's basin, with (u, v) != (a, b).
+    """
+    detour = exists(
+        "u v",
+        path_or_eq(x, "u")
+        & path_or_eq("u", _A)
+        & E("u", "v")
+        & ~(eq("u", _A) & eq("v", _B))
+        & ~path_or_eq("v", _A)
+        & path_or_eq("v", y),
+    )
+    return P(x, y) & (~(path_or_eq(x, _A) & path_or_eq(_B, y)) | detour)
+
+
+def make_reach_acyclic_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.2 (acyclic REACH)."""
+    x, y = "x", "y"
+
+    e_ins = E(x, y) | (eq(x, _A) & eq(y, _B))
+    insert_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), e_ins),
+            RelationDef("P", (x, y), path_insert_formula(x, y)),
+        ),
+    )
+
+    e_del = E(x, y) & ~(eq(x, _A) & eq(y, _B))
+    delete_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), e_del),
+            RelationDef("P", (x, y), path_delete_formula(x, y)),
+        ),
+    )
+
+    queries = {
+        "reach": Query(
+            "reach", path_or_eq(c("s"), c("t")), frame=(), params=("s", "t")
+        ),
+        "paths": Query("paths", P(x, y), frame=(x, y)),
+    }
+
+    return DynFOProgram(
+        name="reach_acyclic",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        notes=(
+            "Theorem 4.2 / [DS93].  Requires the update history to preserve "
+            "acyclicity; the transitive closure P is then maintainable in FO."
+        ),
+    )

@@ -1,0 +1,43 @@
+"""REACH_d — deterministic reachability — is in Dyn-FO (Theorem 4.2).
+
+The paper's route (which we follow verbatim): REACH_d reduces to REACH_u by
+the bounded-expansion first-order reduction ``I_{d-u}`` of Example 2.1, and
+bfo reductions transfer Dyn-FO membership (Proposition 5.3).  So the
+"program" here is the generic :class:`~repro.reductions.transfer.
+TransferredEngine` instantiated with that reduction on top of the spanning
+forest program of Theorem 4.1.
+
+Input: a directed graph E with constants s, t; requests are edge
+inserts/deletes and ``set(s, v)`` / ``set(t, v)``.  The deterministic-path
+semantics (a path may leave a vertex only along its unique out-edge, and
+edges out of t are ignored) are entirely the reduction's doing.
+"""
+
+from __future__ import annotations
+
+from ..reductions.catalog import reduction_d_to_u
+from ..reductions.transfer import TransferredEngine
+from .reach_u import make_reach_u_program
+
+__all__ = ["make_reach_d_engine"]
+
+
+def make_reach_d_engine(
+    n: int, backend: str = "relational", max_expansion: int = 8
+) -> TransferredEngine:
+    """A dynamic REACH_d solver for universe size ``n``.
+
+    Usage::
+
+        engine = make_reach_d_engine(8)
+        engine.insert("E", 0, 1)
+        engine.set_const("s", 0); engine.set_const("t", 1)
+        engine.ask("reach")      # s, t injected from the reduction
+    """
+    return TransferredEngine(
+        reduction=reduction_d_to_u(),
+        target_program=make_reach_u_program(),
+        n=n,
+        max_expansion=max_expansion,
+        backend=backend,
+    )

@@ -1,0 +1,218 @@
+"""REACH_u — undirected reachability — is in Dyn-FO (Theorem 4.1).
+
+The auxiliary structure maintains a spanning forest of the graph:
+
+* ``E(x, y)`` — the (symmetric) input edge relation;
+* ``F(x, y)`` — (x, y) is a forest edge (symmetric);
+* ``PV(x, y, z)`` — x != y lie in the same tree and z lies on the unique
+  forest path from x to y (endpoints included), the paper's arity-3
+  auxiliary relation.
+
+Abbreviations from the proof, as formula builders:
+
+* ``P(x, y)``  :=  x = y | PV(x, y, x)          — "same tree";
+* ``seg(x, u, z)``  :=  (x = u & z = u) | PV(x, u, z)
+  — z on the (possibly empty) path from x to u.
+
+**Insert(E, a, b).**  The paper's formulas, with the (implicit) guard
+``~P(a, b)`` on the PV extension made explicit: the forest and PV change only
+when (a, b) joins two distinct trees.
+
+**Delete(E, a, b).**  If (a, b) is not a forest edge only E changes.
+Otherwise the paper's *temporary relations* are computed first —
+
+* ``TP(x, y, z)``: PV restricted to paths avoiding the severed edge, and
+* ``NewE(x, y)``: the replacement edge, which the paper elides; per its
+  footnote 2 we take the *lexicographically least* surviving edge running
+  from the tree of ``a`` to the tree of ``b`` (deterministic)
+
+— and the primed F and PV are then defined from them.  The temporaries are
+pure abbreviations (inlining them recovers the single first-order formula of
+the paper); see :func:`repro.dynfo.program.inline_temporaries`.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, eq2, exists, forall, le, lt
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = [
+    "make_reach_u_program",
+    "INPUT_VOCABULARY",
+    "AUX_VOCABULARY",
+    "same_tree",
+    "path_segment",
+    "forest_insert_parts",
+    "forest_delete_parts",
+    "severed_path",
+    "severed_same_tree",
+    "severed_segment",
+    "replacement_edge",
+]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, F^2, PV^3")
+
+E = Rel("E")
+F = Rel("F")
+PV = Rel("PV")
+# temporaries of the delete rule
+TP = Rel("TP")  # the paper's T: PV with the severed edge removed
+CandE = Rel("CandE")  # surviving edges crossing the severed cut
+NewE = Rel("NewE")  # the replacement edge across the cut
+_A, _B = c("a"), c("b")
+
+
+def same_tree(x: TermLike, y: TermLike) -> Formula:
+    """The paper's ``P(x, y)``: x and y lie in the same forest tree."""
+    return eq(x, y) | PV(x, y, x)
+
+
+def path_segment(x: TermLike, u: TermLike, z: TermLike) -> Formula:
+    """z lies on the forest path from x to u (endpoints included; the
+    degenerate x = u path is just {x})."""
+    return (eq(x, u) & eq(z, u)) | PV(x, u, z)
+
+
+# -- delete-side abbreviations (over the temporary TP) -------------------------
+
+
+def severed_path(x: TermLike, y: TermLike, z: TermLike) -> Formula:
+    """The temporary T of the proof, as an atom over the scratch relation."""
+    return TP(x, y, z)
+
+
+def severed_same_tree(x: TermLike, u: TermLike) -> Formula:
+    return eq(x, u) | TP(x, u, x)
+
+
+def severed_segment(x: TermLike, u: TermLike, z: TermLike) -> Formula:
+    return (eq(x, u) & eq(z, u)) | TP(x, u, z)
+
+
+def replacement_edge(x: TermLike, y: TermLike) -> Formula:
+    return NewE(x, y)
+
+
+def _tp_formula(x: str, y: str, z: str) -> Formula:
+    """T(x,y,z) := PV(x,y,z) & ~(PV(x,y,a) & PV(x,y,b)) — paths that do not
+    cross the severed forest edge (valid when F(a, b) held)."""
+    return PV(x, y, z) & ~(PV(x, y, _A) & PV(x, y, _B))
+
+
+def _candidate_formula(u: str, v: str) -> Formula:
+    """A surviving edge from a's tree to b's tree (after severing)."""
+    surviving = E(u, v) & ~eq2(u, v, _A, _B)
+    return surviving & severed_same_tree(u, _A) & severed_same_tree(v, _B)
+
+
+def _new_edge_formula(x: str, y: str) -> Formula:
+    """The lexicographically least candidate edge (read from the
+    materialized CandE temporary, keeping the minimality check cheap)."""
+    minimal = forall(
+        "u2 v2",
+        CandE("u2", "v2") >> (lt(x, "u2") | (eq(x, "u2") & le(y, "v2"))),
+    )
+    return CandE(x, y) & minimal
+
+
+def forest_insert_parts() -> tuple[tuple[RelationDef, ...], tuple[RelationDef, ...]]:
+    """(temporaries, definitions) for ``Insert(E, a, b)``; shared with the
+    bipartiteness and k-edge-connectivity programs."""
+    x, y, z = "x", "y", "z"
+    e_ins = E(x, y) | eq2(x, y, _A, _B)
+    f_ins = F(x, y) | (eq2(x, y, _A, _B) & ~same_tree(_A, _B))
+    pv_ins = PV(x, y, z) | (
+        ~same_tree(_A, _B)
+        & exists(
+            "u v",
+            eq2("u", "v", _A, _B)
+            & same_tree(x, "u")
+            & same_tree("v", y)
+            & (path_segment(x, "u", z) | path_segment("v", y, z)),
+        )
+    )
+    definitions = (
+        RelationDef("E", (x, y), e_ins),
+        RelationDef("F", (x, y), f_ins),
+        RelationDef("PV", (x, y, z), pv_ins),
+    )
+    return (), definitions
+
+
+def forest_delete_parts() -> tuple[tuple[RelationDef, ...], tuple[RelationDef, ...]]:
+    """(temporaries, definitions) for ``Delete(E, a, b)``."""
+    x, y, z = "x", "y", "z"
+    temporaries = (
+        RelationDef("TP", (x, y, z), _tp_formula(x, y, z)),
+        RelationDef("CandE", ("u2", "v2"), _candidate_formula("u2", "v2")),
+        RelationDef("NewE", (x, y), _new_edge_formula(x, y)),
+    )
+
+    severed = F(_A, _B)  # was the deleted edge a forest edge?
+    e_del = E(x, y) & ~eq2(x, y, _A, _B)
+
+    cross = NewE(x, y) | NewE(y, x)
+    f_del = (~severed & F(x, y)) | (
+        severed & ((F(x, y) & ~eq2(x, y, _A, _B)) | cross)
+    )
+
+    bridged = exists(
+        "u v",
+        (NewE("u", "v") | NewE("v", "u"))
+        & severed_same_tree(x, "u")
+        & severed_same_tree(y, "v")
+        & (severed_segment(x, "u", z) | severed_segment(y, "v", z)),
+    )
+    pv_del = (~severed & PV(x, y, z)) | (severed & (TP(x, y, z) | bridged))
+
+    definitions = (
+        RelationDef("E", (x, y), e_del),
+        RelationDef("F", (x, y), f_del),
+        RelationDef("PV", (x, y, z), pv_del),
+    )
+    return temporaries, definitions
+
+
+def make_reach_u_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.1."""
+    x, y, z = "x", "y", "z"
+
+    ins_temps, ins_defs = forest_insert_parts()
+    del_temps, del_defs = forest_delete_parts()
+    insert_rule = UpdateRule(
+        params=("a", "b"), definitions=ins_defs, temporaries=ins_temps
+    )
+    delete_rule = UpdateRule(
+        params=("a", "b"), definitions=del_defs, temporaries=del_temps
+    )
+
+    queries = {
+        # boolean: is t reachable from s?
+        "reach": Query(
+            "reach", same_tree(c("s"), c("t")), frame=(), params=("s", "t")
+        ),
+        # the full connectivity relation (u != v in the same component)
+        "connected": Query("connected", PV(x, y, x), frame=(x, y)),
+        "forest": Query("forest", F(x, y), frame=(x, y)),
+        "pv": Query("pv", PV(x, y, z), frame=(x, y, z)),
+    }
+
+    return DynFOProgram(
+        name="reach_u",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        symmetric_inputs=frozenset({"E"}),
+        notes=(
+            "Theorem 4.1.  Spanning-forest maintenance with arity-3 PV; "
+            "deletions replace a severed forest edge by the lexicographically "
+            "least crossing edge (footnote 2's ordering tie-break)."
+        ),
+    )

@@ -1,0 +1,253 @@
+"""REACH_u with arity-2 auxiliary relations (the [DS95] improvement).
+
+After Theorem 4.1 the paper asks whether the arity-3 relation PV is
+necessary; Dong and Su showed arity 2 suffices: keep a *directed* spanning
+forest ``FD(x, y)`` ("y is the parent of x") and its transitive closure
+``TC(x, y)`` ("y is a proper ancestor of x").  Two vertices are connected
+iff they share a root::
+
+    connected(x, y) := exists r. root(r) & wanc(x, r) & wanc(y, r)
+
+with ``wanc(x, w) := x = w | TC(x, w)`` and ``root(r) := ~exists p FD(r, p)``.
+
+The price of the lower arity is *rerooting*: inserting {a, b} across two
+trees re-hangs a's tree from a (every edge on a's ancestor path reverses),
+and deleting a forest edge re-hangs the severed subtree from the subtree
+endpoint of the replacement edge.  Both re-hangs are first-order: the
+ancestor path is a TC row, the reversal flips FD along it, and each
+vertex's new ancestor chain splits at its *meet* with the path (deepest
+common ancestor) — old chain up to the meet, reversed path below the meet,
+then the new parent's chain.  All auxiliary relations (and all temporaries)
+have arity <= 2, versus PV's arity 3 — experiment E17 measures what that
+buys.
+
+This program is intentionally not memoryless (the forest orientation
+depends on history); the connectivity *answers* are still canonical.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, eq2, exists, forall, le, lt
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_reach_u_arity2_program", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, FD^2, TC^2")
+
+E = Rel("E")
+FD = Rel("FD")
+TC = Rel("TC")
+# delete-rule temporaries
+Sub = Rel("Sub")  # vertices of the severed subtree
+TFD = Rel("TFD")  # FD after severing
+TTC = Rel("TTC")  # TC after severing
+NewU = Rel("NewU")  # subtree endpoint of the replacement edge
+NewV = Rel("NewV")  # outside endpoint of the replacement edge
+MeetD = Rel("MeetD")  # meet of each subtree vertex with the reroot path
+# insert-rule temporary
+MeetI = Rel("MeetI")
+_A, _B = c("a"), c("b")
+
+
+def _wanc(x: TermLike, w: TermLike) -> Formula:
+    """w is a weak ancestor of x in the current forest."""
+    return eq(x, w) | TC(x, w)
+
+
+def _root(r: TermLike) -> Formula:
+    return ~exists("pr", FD(r, "pr"))
+
+
+def _same_tree(x: TermLike, y: TermLike) -> Formula:
+    return exists("rr", _root("rr") & _wanc(x, "rr") & _wanc(y, "rr"))
+
+
+# ---------------------------------------------------------------------------
+# Insert(E, a, b): reroot a's tree at a, hang a under b
+# ---------------------------------------------------------------------------
+
+
+def _insert_rule() -> UpdateRule:
+    x, y, w, p = "x", "y", "w", "p"
+    joins = ~_same_tree(_A, _B) & ~eq(_A, _B)
+
+    # MeetI(x, p): p is the deepest weak ancestor of x lying on a's ancestor
+    # path; nonempty exactly for x in a's tree.
+    meet_formula = (
+        _wanc(x, p)
+        & _wanc(_A, p)
+        & forall("w2", (_wanc(x, "w2") & _wanc(_A, "w2")) >> _wanc(p, "w2"))
+    )
+    temporaries = (RelationDef("MeetI", (x, p), meet_formula),)
+
+    e_ins = E(x, y) | eq2(x, y, _A, _B)
+
+    # reverse a's ancestor path, attach a under b
+    fd_reroot = (
+        (FD(x, y) & ~_wanc(_A, x))
+        | (FD(y, x) & _wanc(_A, y))
+        | (eq(x, _A) & eq(y, _B))
+    )
+    fd_ins = (joins & fd_reroot) | (~joins & FD(x, y))
+
+    in_a_tree = exists("pm", MeetI(x, "pm"))
+    # new ancestors of x: old chain up to the meet, the reversed path below
+    # the meet, then b and b's old chain
+    new_chain = ~eq(x, w) & exists(
+        "pm",
+        MeetI(x, "pm")
+        & (
+            (TC(x, w) & _wanc(w, "pm"))
+            | (_wanc(_A, w) & _wanc(w, "pm"))
+            | eq(w, _B)
+            | TC(_B, w)
+        ),
+    )
+    tc_ins = (~joins & TC(x, w)) | (
+        joins & ((~in_a_tree & TC(x, w)) | (in_a_tree & new_chain))
+    )
+
+    return UpdateRule(
+        params=("a", "b"),
+        temporaries=temporaries,
+        definitions=(
+            RelationDef("E", (x, y), e_ins),
+            RelationDef("FD", (x, y), fd_ins),
+            RelationDef("TC", (x, w), tc_ins),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Delete(E, a, b): sever, then re-hang the subtree from the replacement edge
+# ---------------------------------------------------------------------------
+
+
+def _wanc_t(u: TermLike, v: TermLike) -> Formula:
+    """Weak ancestor in the severed forest (over the TTC temporary)."""
+    return eq(u, v) | TTC(u, v)
+
+
+def _on_path(w: TermLike) -> Formula:
+    """w lies on the re-hang path: a weak TTC-ancestor of NewU."""
+    return exists("u9", NewU("u9") & _wanc_t("u9", w))
+
+
+def _cand(u: TermLike, v: TermLike) -> Formula:
+    """A surviving edge out of the severed subtree.  The spanning-forest
+    invariant guarantees its far endpoint lies in the severed tree's other
+    half, so no same-component test is needed."""
+    return E(u, v) & ~eq2(u, v, _A, _B) & Sub(u) & ~Sub(v)
+
+
+def _new_pair(x: TermLike, y: TermLike) -> Formula:
+    """The lexicographically least replacement edge."""
+    minimal = forall(
+        "u2 v2",
+        _cand("u2", "v2") >> (lt(x, "u2") | (eq(x, "u2") & le(y, "v2"))),
+    )
+    return _cand(x, y) & minimal
+
+
+def _delete_rule() -> UpdateRule:
+    x, y, w, p = "x", "y", "w", "p"
+    forest_edge = FD(_A, _B) | FD(_B, _A)
+
+    # the severed subtree hangs below the child endpoint of the edge
+    sub_formula = (FD(_A, _B) & _wanc(x, _A)) | (FD(_B, _A) & _wanc(x, _B))
+    tfd_formula = FD(x, y) & ~eq2(x, y, _A, _B)
+    ttc_formula = TC(x, w) & ~(Sub(x) & ~Sub(w))
+
+    meet_formula = (
+        Sub(x)
+        & _wanc_t(x, p)
+        & _on_path(p)
+        & forall("w2", (_wanc_t(x, "w2") & _on_path("w2")) >> _wanc_t(p, "w2"))
+    )
+
+    temporaries = (
+        RelationDef("Sub", (x,), sub_formula),
+        RelationDef("TFD", (x, y), tfd_formula),
+        RelationDef("TTC", (x, w), ttc_formula),
+        RelationDef("NewU", (x,), exists("yn", _new_pair(x, "yn"))),
+        RelationDef("NewV", (y,), exists("xn", _new_pair("xn", y))),
+        RelationDef("MeetD", (x, p), meet_formula),
+    )
+
+    has_cand = exists("uc", NewU("uc"))
+
+    e_del = E(x, y) & ~eq2(x, y, _A, _B)
+
+    fd_rehang = (
+        (TFD(x, y) & ~_on_path(x))
+        | (TFD(y, x) & _on_path(y))
+        | (NewU(x) & NewV(y))
+    )
+    fd_del = (
+        (~forest_edge & FD(x, y))
+        | (forest_edge & ~has_cand & TFD(x, y))
+        | (forest_edge & has_cand & fd_rehang)
+    )
+
+    new_chain = ~eq(x, w) & exists(
+        "pm",
+        MeetD(x, "pm")
+        & (
+            (TTC(x, w) & _wanc_t(w, "pm"))
+            | (_on_path(w) & _wanc_t(w, "pm"))
+            | NewV(w)
+            | exists("v0", NewV("v0") & TC("v0", w))
+        ),
+    )
+    tc_del = (
+        (~forest_edge & TC(x, w))
+        | (forest_edge & ~has_cand & TTC(x, w))
+        | (
+            forest_edge
+            & has_cand
+            & ((~Sub(x) & TTC(x, w)) | (Sub(x) & new_chain))
+        )
+    )
+
+    return UpdateRule(
+        params=("a", "b"),
+        temporaries=temporaries,
+        definitions=(
+            RelationDef("E", (x, y), e_del),
+            RelationDef("FD", (x, y), fd_del),
+            RelationDef("TC", (x, w), tc_del),
+        ),
+    )
+
+
+def make_reach_u_arity2_program() -> DynFOProgram:
+    """Build the arity-2 REACH_u program ([DS95])."""
+    x, y = "x", "y"
+    queries = {
+        "reach": Query(
+            "reach", _same_tree(c("s"), c("t")), frame=(), params=("s", "t")
+        ),
+        "connected": Query(
+            "connected", ~eq(x, y) & _same_tree(x, y), frame=(x, y)
+        ),
+        "forest": Query("forest", FD(x, y), frame=(x, y)),
+        "closure": Query("closure", TC(x, y), frame=(x, y)),
+    }
+    return DynFOProgram(
+        name="reach_u_arity2",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": _insert_rule()},
+        on_delete={"E": _delete_rule()},
+        queries=queries,
+        symmetric_inputs=frozenset({"E"}),
+        notes=(
+            "[DS95]: arity-2 auxiliary relations (directed forest + its "
+            "transitive closure) suffice for REACH_u; rerooting is FO."
+        ),
+    )

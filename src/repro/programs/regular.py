@@ -1,0 +1,194 @@
+"""Every regular language is in Dyn-FO (Theorem 4.6).
+
+The input structure codes a word of length ``n``: one unary relation
+``S_<sigma>`` per alphabet symbol, with ``S_<sigma>(p)`` meaning position
+``p`` holds sigma.  Positions may be empty (the empty-string character the
+paper uses for deletions); the well-formedness contract is at most one
+symbol per position.
+
+**Relation to the paper's construction.**  The proof of Theorem 4.6 stores,
+at every node of a complete binary tree over the positions, the transition
+function of the word below that node, and repairs the log n nodes on a
+leaf-to-root path by guessing O(log n) bits with O(1) variables (via BIT).
+We maintain the equivalent *interval* form of the same idea: the relation
+
+    St(i, j, q, q')   —  reading positions i..j (inclusive) from state q
+                          ends in state q'
+
+is the function-composition table for every interval, of which the paper's
+tree stores a logarithmic selection.  A single position change at ``p``
+rewrites exactly the intervals containing ``p`` by splicing
+``St(i, p-1, -, -) ; delta_sigma ; St(p+1, j, -, -)`` — a first-order update
+(predecessor and successor are FO in <=).  This trades auxiliary-relation
+*size* (n^2 |Q|^2 instead of n |Q|^2) for dispensing with the bit-guessing
+encoding; per-update work remains first-order, which is the theorem's
+content.  States are universe elements 0..|Q|-1 (so n >= |Q| is required),
+with start state 0; ``D_<sigma>`` holds the transition table and ``Acc`` the
+accepting states, both constant-size and set up by the FO-definable initial
+structure (St starts as the identity on every interval: the empty word).
+"""
+
+from __future__ import annotations
+
+from ..baselines.automata import DFA
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, exists, forall, le, lit, lt
+from ..logic.structure import Structure
+from ..logic.syntax import Formula, TermLike
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["make_regular_program", "symbol_relation", "input_vocabulary"]
+
+St = Rel("St")
+Acc = Rel("Acc")
+_P = c("p")
+
+
+def symbol_relation(symbol: str) -> str:
+    """Input relation name coding occurrences of ``symbol``."""
+    if not symbol.isidentifier():
+        raise ValueError(f"alphabet symbols must be identifier-like: {symbol!r}")
+    return f"S_{symbol}"
+
+
+def _delta_relation(symbol: str) -> str:
+    return f"D_{symbol}"
+
+
+def input_vocabulary(dfa: DFA) -> Vocabulary:
+    return Vocabulary.make(
+        relations=[(symbol_relation(s), 1) for s in dfa.alphabet]
+    )
+
+
+def _aux_vocabulary(dfa: DFA) -> Vocabulary:
+    relations = [(symbol_relation(s), 1) for s in dfa.alphabet]
+    relations += [(_delta_relation(s), 2) for s in dfa.alphabet]
+    relations += [("St", 4), ("Acc", 1)]
+    return Vocabulary.make(relations=relations)
+
+
+def _initial(dfa: DFA, n: int) -> Structure:
+    if n < dfa.num_states:
+        raise ValueError(
+            f"universe of size {n} cannot encode {dfa.num_states} states"
+        )
+    structure = Structure.initial(_aux_vocabulary(dfa), n)
+    for symbol in dfa.alphabet:
+        structure.set_relation(
+            _delta_relation(symbol),
+            {(q, dfa.transitions[(q, symbol)]) for q in range(dfa.num_states)},
+        )
+    structure.set_relation("Acc", {(q,) for q in dfa.accepting})
+    structure.set_relation(
+        "St",
+        {
+            (i, j, q, q)
+            for i in range(n)
+            for j in range(i, n)
+            for q in range(dfa.num_states)
+        },
+    )
+    return structure
+
+
+# -- interval splicing helpers (p is the update-position parameter) -----------
+
+
+def _within(i: TermLike, j: TermLike) -> Formula:
+    return le(i, _P) & le(_P, j)
+
+
+def _prefix(i: TermLike, q: TermLike, r: TermLike) -> Formula:
+    """Reading i..p-1 from q ends in r (identity when i = p)."""
+    before = exists(
+        "pm",
+        lt("pm", _P)
+        & forall("wp", lt("wp", _P) >> le("wp", "pm"))  # pm = p - 1
+        & le(i, "pm")
+        & St(i, "pm", q, r),
+    )
+    return (eq(i, _P) & eq(q, r)) | before
+
+
+def _suffix(j: TermLike, r: TermLike, q2: TermLike) -> Formula:
+    """Reading p+1..j from r ends in q2 (identity when j = p)."""
+    after = exists(
+        "pp",
+        lt(_P, "pp")
+        & forall("ws", lt(_P, "ws") >> le("pp", "ws"))  # pp = p + 1
+        & le("pp", j)
+        & St("pp", j, r, q2),
+    )
+    return (eq(j, _P) & eq(r, q2)) | after
+
+
+def make_regular_program(dfa: DFA, name: str = "regular") -> DynFOProgram:
+    """Build the Dyn-FO program of Theorem 4.6 for ``dfa``'s language."""
+    aux = _aux_vocabulary(dfa)
+    i, j, q, q2 = "i", "j", "q", "q2"
+
+    on_insert: dict[str, UpdateRule] = {}
+    on_delete: dict[str, UpdateRule] = {}
+    for symbol in dfa.alphabet:
+        sym_rel = Rel(symbol_relation(symbol))
+        delta = Rel(_delta_relation(symbol))
+
+        spliced_ins = exists(
+            "r r2",
+            _prefix(i, q, "r") & delta("r", "r2") & _suffix(j, "r2", q2),
+        )
+        st_ins = (~_within(i, j) & St(i, j, q, q2)) | (
+            _within(i, j) & spliced_ins
+        )
+        on_insert[symbol_relation(symbol)] = UpdateRule(
+            params=("p",),
+            definitions=(
+                RelationDef(
+                    symbol_relation(symbol), ("x",), sym_rel("x") | eq("x", _P)
+                ),
+                RelationDef("St", (i, j, q, q2), st_ins),
+            ),
+        )
+
+        spliced_del = exists(
+            "r", _prefix(i, q, "r") & _suffix(j, "r", q2)
+        )
+        st_del = (~_within(i, j) & St(i, j, q, q2)) | (
+            _within(i, j) & spliced_del
+        )
+        on_delete[symbol_relation(symbol)] = UpdateRule(
+            params=("p",),
+            definitions=(
+                RelationDef(
+                    symbol_relation(symbol),
+                    ("x",),
+                    sym_rel("x") & ~eq("x", _P),
+                ),
+                RelationDef("St", (i, j, q, q2), st_del),
+            ),
+        )
+
+    accepted = exists(
+        "qf", St(c("min"), c("max"), lit(0), "qf") & Acc("qf")
+    )
+    queries = {
+        "accepted": Query("accepted", accepted),
+        # the full composition table, for white-box tests
+        "st": Query("st", St(i, j, q, q2), frame=(i, j, q, q2)),
+    }
+
+    return DynFOProgram(
+        name=name,
+        input_vocabulary=input_vocabulary(dfa),
+        aux_vocabulary=aux,
+        initial=lambda n: _initial(dfa, n),
+        on_insert=on_insert,
+        on_delete=on_delete,
+        queries=queries,
+        notes=(
+            "Theorem 4.6 in interval form: St is the all-intervals "
+            "transition-composition table; one position change splices "
+            "prefix ; delta ; suffix in FO."
+        ),
+    )

@@ -1,0 +1,115 @@
+"""Transitive reduction of DAGs is in memoryless Dyn-FO (Corollary 4.3).
+
+For an acyclic graph the transitive reduction is unique:
+``TR = {(u, v) in E : no directed path u -> v of length >= 2}``.
+The auxiliary structure carries the path relation ``P`` (maintained exactly
+as in Theorem 4.2) together with ``TR`` itself.
+
+The paper's formulas use the convention that the path relation is read
+reflexively at the update endpoints; we spell those endpoint cases out with
+``refl(x, y) := x = y | P(x, y)`` and exclude the degenerate "path" that is
+just the touched edge itself:
+
+* ``Insert(E, a, b)``: if P(a, b) already holds nothing changes (the new
+  edge is born redundant); otherwise (a, b) joins TR and every TR edge
+  (x, y) != (a, b) with refl(x, a) and refl(b, y) becomes redundant.
+* ``Delete(E, a, b)``: a redundant edge (x, y) whose length->=2 witnesses all
+  crossed (a, b) is promoted into TR; the witness-free condition is the
+  negated detour of Theorem 4.2 restricted to (u, v) != (x, y) so that the
+  edge (x, y) itself does not count as its own 2+ path.
+
+Memoryless: TR and P are determined by the current graph alone.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
+from ..logic.dsl import Rel, c, eq, exists
+from ..logic.structure import Structure
+from ..logic.vocabulary import Vocabulary
+from .reach_acyclic import (
+    E,
+    P,
+    path_delete_formula,
+    path_insert_formula,
+    path_or_eq,
+)
+
+__all__ = ["make_transitive_reduction_program", "INPUT_VOCABULARY", "AUX_VOCABULARY"]
+
+INPUT_VOCABULARY = Vocabulary.parse("E^2")
+AUX_VOCABULARY = Vocabulary.parse("E^2, P^2, TR^2")
+
+TR = Rel("TR")
+_A, _B = c("a"), c("b")
+
+
+def make_transitive_reduction_program() -> DynFOProgram:
+    """Build the Dyn-FO program of Corollary 4.3."""
+    x, y = "x", "y"
+
+    # ---- Insert(E, a, b) ----
+    e_ins = E(x, y) | (eq(x, _A) & eq(y, _B))
+    fresh = ~P(_A, _B)  # the new edge is essential only if no prior path
+    made_redundant = (
+        path_or_eq(x, _A) & path_or_eq(_B, y) & ~(eq(x, _A) & eq(y, _B))
+    )
+    tr_ins = (fresh & eq(x, _A) & eq(y, _B)) | (
+        TR(x, y) & ~(fresh & made_redundant)
+    )
+    insert_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), e_ins),
+            RelationDef("P", (x, y), path_insert_formula(x, y)),
+            RelationDef("TR", (x, y), tr_ins),
+        ),
+    )
+
+    # ---- Delete(E, a, b) ----
+    e_del = E(x, y) & ~(eq(x, _A) & eq(y, _B))
+    # a surviving length >= 2 path x -> y (detour of Thm 4.2, excluding the
+    # edge (x, y) itself)
+    long_detour = exists(
+        "u v",
+        path_or_eq(x, "u")
+        & path_or_eq("u", _A)
+        & E("u", "v")
+        & ~(eq("u", _A) & eq("v", _B))
+        & ~(eq("u", x) & eq("v", y))
+        & ~path_or_eq("v", _A)
+        & path_or_eq("v", y),
+    )
+    promoted = (
+        E(x, y)
+        & ~(eq(x, _A) & eq(y, _B))
+        & ~TR(x, y)
+        & path_or_eq(x, _A)
+        & path_or_eq(_B, y)
+        & ~long_detour
+    )
+    tr_del = (TR(x, y) & ~(eq(x, _A) & eq(y, _B))) | promoted
+    delete_rule = UpdateRule(
+        params=("a", "b"),
+        definitions=(
+            RelationDef("E", (x, y), e_del),
+            RelationDef("P", (x, y), path_delete_formula(x, y)),
+            RelationDef("TR", (x, y), tr_del),
+        ),
+    )
+
+    queries = {
+        "tr": Query("tr", TR(x, y), frame=(x, y)),
+        "paths": Query("paths", P(x, y), frame=(x, y)),
+    }
+
+    return DynFOProgram(
+        name="transitive_reduction",
+        input_vocabulary=INPUT_VOCABULARY,
+        aux_vocabulary=AUX_VOCABULARY,
+        initial=lambda n: Structure.initial(AUX_VOCABULARY, n),
+        on_insert={"E": insert_rule},
+        on_delete={"E": delete_rule},
+        queries=queries,
+        notes="Corollary 4.3; memoryless, requires acyclic history.",
+    )

@@ -1,0 +1,36 @@
+"""Section 5 of the paper: reductions honoring dynamic complexity.
+
+* :class:`FirstOrderReduction` — executable k-ary FO reductions (Def. 2.2);
+* :func:`measure_expansion` — empirical bounded-expansion checking
+  (Def. 5.1);
+* :class:`TransferredEngine` — the constructive transfer theorem
+  (Prop. 5.3): a bfo reduction + a Dyn-FO program for the target yields a
+  dynamic solver for the source;
+* the catalog: ``I_{d-u}`` (Example 2.1), PAD (Def. 5.13), COLOR-REACH
+  ([MSV94], Fact 5.11).
+"""
+
+from .bounded import ExpansionReport, measure_expansion, structure_delta
+from .catalog import (
+    ColorReachInstance,
+    color_reach_reachable,
+    pad_structure,
+    reduction_d_to_u,
+)
+from .first_order import FirstOrderReduction, decode_element, encode_tuple
+from .transfer import ExpansionExceeded, TransferredEngine
+
+__all__ = [
+    "FirstOrderReduction",
+    "encode_tuple",
+    "decode_element",
+    "measure_expansion",
+    "structure_delta",
+    "ExpansionReport",
+    "TransferredEngine",
+    "ExpansionExceeded",
+    "reduction_d_to_u",
+    "pad_structure",
+    "ColorReachInstance",
+    "color_reach_reachable",
+]

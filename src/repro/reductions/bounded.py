@@ -1,0 +1,108 @@
+"""Empirical bounded-expansion checking (Definition 5.1).
+
+A first-order reduction is *bounded expansion* when each input tuple or
+constant affects at most a constant number of output tuples and constants,
+obliviously (through the numeric predicates only).  ``measure_expansion``
+replays single requests against random source structures and records how
+many target tuples actually change; tests assert the observed maximum stays
+under the reduction's declared constant, and that a structure-independent
+request keeps touching the same bounded region (the obliviousness probe).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..dynfo.requests import Delete, Insert, Request, SetConst, apply_request
+from ..logic.structure import Structure
+from .first_order import FirstOrderReduction
+
+__all__ = ["ExpansionReport", "measure_expansion", "structure_delta"]
+
+
+def structure_delta(before: Structure, after: Structure) -> int:
+    """Number of differing tuples + constants between two structures."""
+    if before.vocabulary != after.vocabulary or before.n != after.n:
+        raise ValueError("structures are not comparable")
+    delta = 0
+    for rel in before.vocabulary:
+        delta += len(
+            before.relation_view(rel.name) ^ after.relation_view(rel.name)
+        )
+    for name in before.vocabulary.constant_names():
+        if before.constant(name) != after.constant(name):
+            delta += 1
+    return delta
+
+
+@dataclass
+class ExpansionReport:
+    """Outcome of an expansion measurement."""
+
+    reduction: str
+    trials: int
+    max_delta: int
+    worst_request: Request | None
+
+    def is_bounded_by(self, constant: int) -> bool:
+        return self.max_delta <= constant
+
+
+def measure_expansion(
+    reduction: FirstOrderReduction,
+    n: int,
+    trials: int = 100,
+    seed: int = 0,
+    request_maker: Callable[[random.Random, Structure], Request] | None = None,
+) -> ExpansionReport:
+    """Apply random single requests to random source structures and record
+    the largest induced change in the reduction's output."""
+    rng = random.Random(seed)
+    maker = request_maker or _default_request
+    max_delta = 0
+    worst: Request | None = None
+    for _ in range(trials):
+        source = _random_structure(reduction.source, n, rng)
+        request = maker(rng, source)
+        before = reduction.apply(source)
+        apply_request(source, request)
+        after = reduction.apply(source)
+        delta = structure_delta(before, after)
+        if delta > max_delta:
+            max_delta = delta
+            worst = request
+    return ExpansionReport(
+        reduction=reduction.name,
+        trials=trials,
+        max_delta=max_delta,
+        worst_request=worst,
+    )
+
+
+def _random_structure(vocabulary, n: int, rng: random.Random) -> Structure:
+    structure = Structure(vocabulary, n)
+    for rel in vocabulary:
+        count = rng.randrange(0, max(2, n * rel.arity))
+        for _ in range(count):
+            structure.add(
+                rel.name, tuple(rng.randrange(n) for _ in range(rel.arity))
+            )
+    for name in vocabulary.constant_names():
+        structure.set_constant(name, rng.randrange(n))
+    return structure
+
+
+def _default_request(rng: random.Random, structure: Structure) -> Request:
+    vocabulary = structure.vocabulary
+    choices: list[Request] = []
+    for rel in vocabulary:
+        tup = tuple(rng.randrange(structure.n) for _ in range(rel.arity))
+        choices.append(Insert(rel.name, tup))
+        rows = structure.relation_view(rel.name)
+        if rows:
+            choices.append(Delete(rel.name, rng.choice(sorted(rows))))
+    for name in vocabulary.constant_names():
+        choices.append(SetConst(name, rng.randrange(structure.n)))
+    return rng.choice(choices)

@@ -1,0 +1,156 @@
+"""Concrete reductions and padded problems from the paper.
+
+* :func:`reduction_d_to_u` — Example 2.1's unary bfo reduction
+  ``I_{d-u}`` from REACH_d to REACH_u: drop edges out of t, drop the
+  out-edges of any vertex with out-degree > 1, make the rest undirected.
+* :func:`pad_structure` / :func:`pad_requests` — Definition 5.13's padding
+  PAD(S): n copies of the input, so one real change costs n requests.
+* :func:`color_reach_structure` — the COLOR-REACH encoding of [MSV94]
+  (Fact 5.11): out-degree-<=2 graphs with a color vector choosing, per
+  vertex class, which of the two out-edges is active.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..logic.dsl import Rel, c, eq, forall, neq
+from ..logic.structure import Structure
+from ..logic.syntax import Formula
+from ..logic.vocabulary import Vocabulary
+from .first_order import FirstOrderReduction
+
+__all__ = [
+    "reduction_d_to_u",
+    "pad_structure",
+    "color_reach_reachable",
+    "ColorReachInstance",
+]
+
+_E = Rel("E")
+
+
+def _alpha(x: str, y: str) -> Formula:
+    """The paper's alpha(x, y): (x, y) is x's unique out-edge and x != t."""
+    return (
+        _E(x, y)
+        & neq(x, c("t"))
+        & forall("zr", _E(x, "zr") >> eq("zr", y))
+    )
+
+
+def reduction_d_to_u() -> FirstOrderReduction:
+    """``I_{d-u}``: REACH_d <=_bfo REACH_u (Example 2.1).
+
+    Bounded expansion: one edge change at x touches only alpha(x, .) — the
+    unique out-edge before and after — so at most 4 target tuples change
+    (two per orientation); a change of t touches the out-edges of the old
+    and new t.
+    """
+    source = Vocabulary.parse("E^2, s, t")
+    target = Vocabulary.parse("E^2, s, t")
+    phi = _alpha("x", "y") | _alpha("y", "x")
+    return FirstOrderReduction(
+        name="I_d-u",
+        k=1,
+        source=source,
+        target=target,
+        formulas={"E": phi},
+        frames={"E": ("x", "y")},
+        constant_map={"s": ("s",), "t": ("t",)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# PAD (Definition 5.13)
+# ---------------------------------------------------------------------------
+
+
+def pad_structure(structure: Structure, copies: int | None = None) -> Structure:
+    """PAD(S)'s input form: ``copies`` identical copies of ``structure``,
+    each relation gaining a leading copy-index column."""
+    n = structure.n
+    copies = n if copies is None else copies
+    vocabulary = Vocabulary.make(
+        relations=[
+            (rel.name, rel.arity + 1) for rel in structure.vocabulary
+        ],
+        constants=structure.vocabulary.constant_names(),
+    )
+    out = Structure(vocabulary, n)
+    for rel in structure.vocabulary:
+        rows = structure.relation_view(rel.name)
+        out.set_relation(
+            rel.name,
+            {(i,) + row for i in range(copies) for row in rows},
+        )
+    for name in structure.vocabulary.constant_names():
+        out.set_constant(name, structure.constant(name))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# COLOR-REACH ([MSV94], Fact 5.11)
+# ---------------------------------------------------------------------------
+
+
+class ColorReachInstance:
+    """An instance of COLOR-REACH: a digraph of out-degree <= 2 with labeled
+    zero/one out-edges, a partition V = V_0 u V_1 u .. u V_r, and a color
+    bit per class choosing which out-edge is active for its vertices
+    (class 0 keeps both).  Flipping one color bit rewires a whole class —
+    the trick that makes the standard L/NL-hardness reductions bounded
+    expansion."""
+
+    def __init__(
+        self,
+        n: int,
+        zero_edges: dict[int, int],
+        one_edges: dict[int, int],
+        vertex_class: Sequence[int],
+        colors: dict[int, bool],
+    ) -> None:
+        self.n = n
+        self.zero_edges = dict(zero_edges)
+        self.one_edges = dict(one_edges)
+        self.vertex_class = list(vertex_class)
+        self.colors = dict(colors)
+
+    def active_edges(self) -> set[tuple[int, int]]:
+        edges: set[tuple[int, int]] = set()
+        for v in range(self.n):
+            cls = self.vertex_class[v]
+            if cls == 0:
+                if v in self.zero_edges:
+                    edges.add((v, self.zero_edges[v]))
+                if v in self.one_edges:
+                    edges.add((v, self.one_edges[v]))
+            else:
+                table = self.one_edges if self.colors.get(cls, False) else self.zero_edges
+                if v in table:
+                    edges.add((v, table[v]))
+        return edges
+
+    def set_color(self, cls: int, value: bool) -> None:
+        if cls == 0:
+            raise ValueError("class 0 has no color bit")
+        self.colors[cls] = value
+
+
+def color_reach_reachable(instance: ColorReachInstance, s: int, t: int) -> bool:
+    """Plain reachability over the instance's active edges."""
+    seen: set[int] = set()
+    stack = [s]
+    targets = {u: v for (u, v) in instance.active_edges()}
+    adjacency: dict[int, list[int]] = {}
+    for (u, v) in instance.active_edges():
+        adjacency.setdefault(u, []).append(v)
+    while stack:
+        u = stack.pop()
+        if u == t:
+            return True
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(adjacency.get(u, ()))
+    return False

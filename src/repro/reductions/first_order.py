@@ -1,0 +1,124 @@
+"""k-ary first-order reductions (Definition 2.2).
+
+A reduction ``I = lambda_{x1..xd} <phi_1, .., phi_r, t_1, .., t_s>`` maps a
+structure with universe {0..n-1} to one with universe {0..n^k - 1}: target
+relation ``R_i`` holds on encoded k-tuples wherever ``phi_i`` holds on the
+underlying source elements, and each target constant is the encoding of a
+k-tuple of source constants.  The tuple encoding is the paper's
+
+    <u1, .., uk>  =  u_k + u_{k-1} n + ... + u_1 n^{k-1}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..logic.evaluation import naive_query
+from ..logic.relational import RelationalEvaluator
+from ..logic.structure import Structure
+from ..logic.syntax import Formula
+from ..logic.transform import free_vars
+from ..logic.vocabulary import Vocabulary
+
+__all__ = ["FirstOrderReduction", "encode_tuple", "decode_element"]
+
+
+def encode_tuple(values: Sequence[int], n: int) -> int:
+    """The paper's <u1, .., uk> encoding into {0..n^k - 1}."""
+    out = 0
+    for value in values:
+        if not 0 <= value < n:
+            raise ValueError(f"element {value} outside universe of size {n}")
+        out = out * n + value
+    return out
+
+
+def decode_element(element: int, n: int, k: int) -> tuple[int, ...]:
+    """Inverse of :func:`encode_tuple`."""
+    values = []
+    for _ in range(k):
+        values.append(element % n)
+        element //= n
+    return tuple(reversed(values))
+
+
+@dataclass(frozen=True)
+class FirstOrderReduction:
+    """An executable k-ary first-order reduction.
+
+    ``formulas[R]`` defines target relation R of arity a over the frame
+    ``x1 .. x_{k*a}`` (any variable names, given per formula via
+    ``frames[R]``); ``constant_map[c]`` is the k-tuple of *source constant
+    names* interpreting target constant c.
+    """
+
+    name: str
+    k: int
+    source: Vocabulary
+    target: Vocabulary
+    formulas: Mapping[str, Formula]
+    frames: Mapping[str, tuple[str, ...]]
+    constant_map: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        for rel in self.target:
+            if rel.name not in self.formulas:
+                raise ValueError(f"no defining formula for {rel.name!r}")
+            frame = self.frames[rel.name]
+            if len(frame) != self.k * rel.arity:
+                raise ValueError(
+                    f"frame for {rel.name!r} must have {self.k * rel.arity} "
+                    f"variables, got {len(frame)}"
+                )
+            loose = free_vars(self.formulas[rel.name]) - set(frame)
+            if loose:
+                raise ValueError(
+                    f"formula for {rel.name!r} has unbound variables {sorted(loose)}"
+                )
+        for const in self.target.constant_names():
+            names = self.constant_map.get(const)
+            if names is None or len(names) != self.k:
+                raise ValueError(
+                    f"target constant {const!r} needs a {self.k}-tuple of "
+                    "source constants"
+                )
+
+    def apply(self, structure: Structure) -> Structure:
+        """Compute ``I(structure)``."""
+        if structure.vocabulary != self.source:
+            raise ValueError("structure has the wrong vocabulary")
+        n = structure.n
+        out = Structure(self.target, n ** self.k)
+        evaluator = RelationalEvaluator(structure)
+        for rel in self.target:
+            frame = self.frames[rel.name]
+            rows = evaluator.rows(self.formulas[rel.name], frame)
+            encoded = {
+                tuple(
+                    encode_tuple(row[i * self.k : (i + 1) * self.k], n)
+                    for i in range(rel.arity)
+                )
+                for row in rows
+            }
+            out.set_relation(rel.name, encoded)
+        for const in self.target.constant_names():
+            source_values = [
+                structure.constant(name) for name in self.constant_map[const]
+            ]
+            out.set_constant(const, encode_tuple(source_values, n))
+        return out
+
+    def is_many_one_for(
+        self,
+        source_member,
+        target_member,
+        structures,
+    ) -> bool:
+        """Spot-check the many-one property on an iterable of structures."""
+        return all(
+            source_member(structure) == target_member(self.apply(structure))
+            for structure in structures
+        )

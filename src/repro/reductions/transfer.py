@@ -1,0 +1,135 @@
+"""The transfer theorem, Proposition 5.3, as an executable construction.
+
+If ``S <=_bfo T`` and ``T in Dyn-FO``, then ``S in Dyn-FO``: a request to
+the S-input changes only a bounded number of tuples of the reduced
+structure ``I(A)``, and each of those changes is fed to T's Dyn-FO program
+as its own request.
+
+:class:`TransferredEngine` wires a :class:`FirstOrderReduction` to a target
+:class:`DynFOEngine`.  The translated request list is computed by diffing
+``I(A)`` before and after the source request; for a genuinely
+bounded-expansion reduction that diff is small, and the engine *asserts*
+the bound (``max_expansion``) on every request — running it is itself an
+ongoing test of Definition 5.1.  (A cleverer implementation would examine
+only the obliviously-dependent tuples; diffing keeps the construction
+honest and simple, and the per-request *target work* — what Prop 5.3 is
+about — is identical.)
+"""
+
+from __future__ import annotations
+
+from ..dynfo.engine import DynFOEngine
+from ..dynfo.program import DynFOProgram
+from ..dynfo.requests import Delete, Insert, Request, SetConst, apply_request
+from ..logic.structure import Structure
+from .first_order import FirstOrderReduction
+
+__all__ = ["TransferredEngine", "ExpansionExceeded"]
+
+
+class ExpansionExceeded(AssertionError):
+    """A request changed more reduced tuples than the declared bound."""
+
+
+class TransferredEngine:
+    """Runs problem S through ``reduction`` on top of T's Dyn-FO engine."""
+
+    def __init__(
+        self,
+        reduction: FirstOrderReduction,
+        target_program: DynFOProgram,
+        n: int,
+        max_expansion: int = 8,
+        backend: str = "relational",
+    ) -> None:
+        if reduction.target.relation_names() != tuple(
+            r.name for r in target_program.input_vocabulary
+        ):
+            raise ValueError(
+                "reduction target vocabulary does not match the target "
+                "program's input vocabulary"
+            )
+        self.reduction = reduction
+        self.n = n
+        self.max_expansion = max_expansion
+        self.source_inputs = Structure.initial(reduction.source, n)
+        self.target_engine = DynFOEngine(
+            target_program, n ** reduction.k, backend=backend
+        )
+        # Target constants the target program does not model as input
+        # constants (e.g. REACH_u takes s, t as query parameters instead)
+        # are tracked here and injected into queries via ask().
+        self.target_constants: dict[str, int] = {}
+        self._reduced = reduction.apply(self.source_inputs)
+        self._sync_initial()
+        self.requests_translated = 0
+        self.max_delta_seen = 0
+
+    def _sync_initial(self) -> None:
+        """Feed the (boundedly many, for a bfo reduction) tuples of
+        ``I(A_0)`` to the target engine."""
+        for request in self._diff(
+            Structure(self._reduced.vocabulary, self._reduced.n), self._reduced
+        ):
+            self.target_engine.apply(request)
+
+    def _diff(self, before: Structure, after: Structure) -> list[Request]:
+        requests: list[Request] = []
+        for rel in before.vocabulary:
+            old = before.relation_view(rel.name)
+            new = after.relation_view(rel.name)
+            requests.extend(Delete(rel.name, row) for row in sorted(old - new))
+            requests.extend(Insert(rel.name, row) for row in sorted(new - old))
+        for name in before.vocabulary.constant_names():
+            if before.constant(name) != after.constant(name):
+                requests.append(SetConst(name, after.constant(name)))
+        # also surface initial constants on the very first sync
+        for name in before.vocabulary.constant_names():
+            if name not in self.target_constants:
+                self.target_constants[name] = after.constant(name)
+        return requests
+
+    def apply(self, request: Request) -> list[Request]:
+        """Apply one S-request; returns the translated T-requests."""
+        apply_request(self.source_inputs, request)
+        new_reduced = self.reduction.apply(self.source_inputs)
+        translated = self._diff(self._reduced, new_reduced)
+        if len(translated) > self.max_expansion:
+            raise ExpansionExceeded(
+                f"{self.reduction.name}: request {request} changed "
+                f"{len(translated)} reduced tuples (> {self.max_expansion})"
+            )
+        program = self.target_engine.program
+        for target_request in translated:
+            if isinstance(target_request, SetConst):
+                self.target_constants[target_request.name] = target_request.value
+                if program.input_vocabulary.has_constant(target_request.name):
+                    self.target_engine.apply(target_request)
+            else:
+                self.target_engine.apply(target_request)
+        self._reduced = new_reduced
+        self.requests_translated += len(translated)
+        self.max_delta_seen = max(self.max_delta_seen, len(translated))
+        return translated
+
+    # convenience pass-throughs ------------------------------------------------
+
+    def insert(self, rel: str, *tup: int) -> None:
+        self.apply(Insert(rel, tuple(tup)))
+
+    def delete(self, rel: str, *tup: int) -> None:
+        self.apply(Delete(rel, tuple(tup)))
+
+    def set_const(self, name: str, value: int) -> None:
+        self.apply(SetConst(name, value))
+
+    def ask(self, query: str, **params: int) -> bool:
+        """Ask a boolean query of the target engine.  Query parameters that
+        name tracked target constants (e.g. ``s``, ``t``) default to their
+        current values."""
+        spec = self.target_engine.program.queries[query]
+        merged = dict(params)
+        for name in spec.params:
+            if name not in merged and name in self.target_constants:
+                merged[name] = self.target_constants[name]
+        return self.target_engine.ask(query, **merged)

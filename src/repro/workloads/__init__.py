@@ -1,0 +1,39 @@
+"""Seeded, contract-preserving request-script generators.
+
+Scripts are plain lists of :class:`~repro.dynfo.requests.Request`, so the
+tests, the examples, and the benchmark harness all replay identical
+workloads; serialize them with :func:`repro.dynfo.script_to_json`.
+"""
+
+from .graphs import (
+    bounded_degree_script,
+    dag_script,
+    directed_script,
+    forest_script,
+    reach_d_script,
+    undirected_script,
+    weighted_script,
+)
+from .padded import PadAdversary, padded_script
+from .strings import (
+    bitflip_script,
+    dyck_edit_script,
+    number_bit_script,
+    word_edit_script,
+)
+
+__all__ = [
+    "undirected_script",
+    "directed_script",
+    "dag_script",
+    "forest_script",
+    "weighted_script",
+    "bounded_degree_script",
+    "reach_d_script",
+    "bitflip_script",
+    "word_edit_script",
+    "dyck_edit_script",
+    "number_bit_script",
+    "PadAdversary",
+    "padded_script",
+]

@@ -1,0 +1,241 @@
+"""Seeded request-script generators for graph problems.
+
+Every generator returns a plain ``list[Request]`` so scripts are
+reproducible, serializable (:func:`repro.dynfo.script_to_json`), and
+shareable between the tests and the benchmark harness.  Generators that
+serve programs with input contracts (acyclic history, forest history,
+degree bounds, unique weights) maintain those invariants themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..dynfo.requests import Delete, Insert, Request, SetConst
+
+__all__ = [
+    "undirected_script",
+    "directed_script",
+    "dag_script",
+    "forest_script",
+    "weighted_script",
+    "bounded_degree_script",
+    "reach_d_script",
+]
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def undirected_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.45,
+    rel: str = "E",
+    self_loops: bool = False,
+) -> list[Request]:
+    """Insert/delete a canonical orientation of undirected edges."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: set[tuple[int, int]] = set()
+    while len(script) < steps:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b and not self_loops:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in present and rng.random() < p_delete:
+            script.append(Delete(rel, key))
+            present.discard(key)
+        else:
+            script.append(Insert(rel, key))
+            present.add(key)
+    return script
+
+
+def directed_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.45,
+    rel: str = "E",
+) -> list[Request]:
+    """Insert/delete directed edges with no structural invariant."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: set[tuple[int, int]] = set()
+    while len(script) < steps:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        if (a, b) in present and rng.random() < p_delete:
+            script.append(Delete(rel, (a, b)))
+            present.discard((a, b))
+        else:
+            script.append(Insert(rel, (a, b)))
+            present.add((a, b))
+    return script
+
+
+def dag_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.45,
+    rel: str = "E",
+) -> list[Request]:
+    """Acyclicity-preserving: edges only point up the vertex order, so every
+    prefix of the script denotes a DAG (the contract of Theorem 4.2)."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: set[tuple[int, int]] = set()
+    while len(script) < steps:
+        u = rng.randrange(n - 1)
+        v = rng.randrange(u + 1, n)
+        if (u, v) in present and rng.random() < p_delete:
+            script.append(Delete(rel, (u, v)))
+            present.discard((u, v))
+        else:
+            script.append(Insert(rel, (u, v)))
+            present.add((u, v))
+    return script
+
+
+def forest_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.4,
+    rel: str = "E",
+) -> list[Request]:
+    """Directed-forest-preserving (parent -> child edges, at most one parent
+    per vertex, no cycles) — the contract of Theorem 4.5(4)."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: set[tuple[int, int]] = set()
+
+    def reaches(start: int, goal: int) -> bool:
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(child for (p, child) in present if p == node)
+        return False
+
+    attempts = 0
+    while len(script) < steps and attempts < steps * 20:
+        attempts += 1
+        if present and rng.random() < p_delete:
+            edge = rng.choice(sorted(present))
+            script.append(Delete(rel, edge))
+            present.discard(edge)
+            continue
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        if any(child == v for (_, child) in present):
+            continue  # v already has a parent
+        if reaches(v, u):
+            continue  # would close a cycle
+        script.append(Insert(rel, (u, v)))
+        present.add((u, v))
+    return script
+
+
+def weighted_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.45,
+    rel: str = "Ew",
+) -> list[Request]:
+    """Weighted undirected edges with a unique live weight per edge (the
+    contract of Theorem 4.4); weights are universe elements."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: dict[tuple[int, int], int] = {}
+    while len(script) < steps:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in present and rng.random() < p_delete:
+            script.append(Delete(rel, key + (present.pop(key),)))
+        elif key not in present:
+            weight = rng.randrange(n)
+            present[key] = weight
+            script.append(Insert(rel, key + (weight,)))
+    return script
+
+
+def bounded_degree_script(
+    n: int,
+    steps: int,
+    max_degree: int = 3,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.4,
+    rel: str = "E",
+) -> list[Request]:
+    """Undirected edges keeping every vertex's degree <= max_degree (the
+    regime the paper highlights for maximal matching)."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: set[tuple[int, int]] = set()
+    degree = [0] * n
+    attempts = 0
+    while len(script) < steps and attempts < steps * 20:
+        attempts += 1
+        if present and rng.random() < p_delete:
+            edge = rng.choice(sorted(present))
+            script.append(Delete(rel, edge))
+            present.discard(edge)
+            degree[edge[0]] -= 1
+            degree[edge[1]] -= 1
+            continue
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        key = (min(a, b), max(a, b))
+        if key in present or degree[a] >= max_degree or degree[b] >= max_degree:
+            continue
+        script.append(Insert(rel, key))
+        present.add(key)
+        degree[a] += 1
+        degree[b] += 1
+    return script
+
+
+def reach_d_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_delete: float = 0.4,
+    p_retarget: float = 0.3,
+    rel: str = "E",
+) -> list[Request]:
+    """Directed edges plus occasional ``set(s, .)`` / ``set(t, .)``."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    present: set[tuple[int, int]] = set()
+    while len(script) < steps:
+        roll = rng.random()
+        if roll < p_retarget:
+            name = rng.choice(("s", "t"))
+            script.append(SetConst(name, rng.randrange(n)))
+            continue
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        if (a, b) in present and rng.random() < p_delete:
+            script.append(Delete(rel, (a, b)))
+            present.discard((a, b))
+        else:
+            script.append(Insert(rel, (a, b)))
+            present.add((a, b))
+    return script

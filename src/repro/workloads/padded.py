@@ -1,0 +1,70 @@
+"""The padding adversary of Definition 5.13 / Theorem 5.14.
+
+``PadAdversary`` turns one *real* change to an alternating graph into the n
+single-tuple requests PAD demands (one per copy, copy 0 first — the
+canonical discipline under which the stage pipeline is provably caught up
+whenever the copies are equal again).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dynfo.requests import Delete, Insert, Request, SetConst
+
+__all__ = ["PadAdversary", "padded_script"]
+
+
+@dataclass
+class PadAdversary:
+    """Tracks the real alternating graph and emits padded request batches."""
+
+    n: int
+    edges: set[tuple[int, int]] = field(default_factory=set)
+    universal: set[int] = field(default_factory=set)
+    s: int = 0
+    t: int = 0
+
+    def toggle_edge(self, a: int, b: int) -> list[Request]:
+        if (a, b) in self.edges:
+            self.edges.discard((a, b))
+            return [Delete("E3", (copy, a, b)) for copy in range(self.n)]
+        self.edges.add((a, b))
+        return [Insert("E3", (copy, a, b)) for copy in range(self.n)]
+
+    def toggle_universal(self, v: int) -> list[Request]:
+        if v in self.universal:
+            self.universal.discard(v)
+            return [Delete("A2", (copy, v)) for copy in range(self.n)]
+        self.universal.add(v)
+        return [Insert("A2", (copy, v)) for copy in range(self.n)]
+
+    def retarget(self, name: str, value: int) -> list[Request]:
+        """Setting a constant is one real change = n requests (the set plus
+        n-1 pipeline pumps via idempotent re-sets of s)."""
+        setattr(self, name, value)
+        batch: list[Request] = [SetConst(name, value)]
+        batch.extend(SetConst("s", self.s) for _ in range(self.n - 1))
+        return batch
+
+    def random_batch(self, rng: random.Random) -> list[Request]:
+        roll = rng.random()
+        if roll < 0.45:
+            return self.toggle_edge(rng.randrange(self.n), rng.randrange(self.n))
+        if roll < 0.7:
+            return self.toggle_universal(rng.randrange(self.n))
+        if roll < 0.85:
+            return self.retarget("s", rng.randrange(self.n))
+        return self.retarget("t", rng.randrange(self.n))
+
+
+def padded_script(
+    n: int, real_changes: int, seed: int | random.Random = 0
+) -> tuple[list[list[Request]], PadAdversary]:
+    """A list of padded batches (each one real change) plus the adversary
+    carrying the final real input state."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    adversary = PadAdversary(n)
+    batches = [adversary.random_batch(rng) for _ in range(real_changes)]
+    return batches, adversary

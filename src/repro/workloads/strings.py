@@ -1,0 +1,145 @@
+"""Seeded request scripts for string-shaped inputs: bit flips (PARITY,
+multiplication), word edits (regular languages), and parenthesis edits
+(Dyck languages).  All generators preserve their program's well-formedness
+contracts (one symbol per position, token budgets)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..baselines.automata import DFA
+from ..dynfo.requests import Delete, Insert, Request
+from ..programs.dyck import left_relation, right_relation
+from ..programs.regular import symbol_relation
+
+__all__ = [
+    "bitflip_script",
+    "word_edit_script",
+    "dyck_edit_script",
+    "number_bit_script",
+]
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def bitflip_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    rel: str = "M",
+    p_delete: float = 0.5,
+) -> list[Request]:
+    """Random single-bit sets/clears on a length-n bit string."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    ones: set[int] = set()
+    for _ in range(steps):
+        position = rng.randrange(n)
+        if position in ones and rng.random() < p_delete:
+            script.append(Delete(rel, (position,)))
+            ones.discard(position)
+        else:
+            script.append(Insert(rel, (position,)))
+            ones.add(position)
+    return script
+
+
+def word_edit_script(
+    dfa: DFA,
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+) -> list[Request]:
+    """Random edits of a length-n word over the DFA's alphabet: clear a
+    position or (re)write it with a symbol, keeping at most one symbol per
+    position (a rewrite emits delete-then-insert)."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    word: dict[int, str] = {}
+    while len(script) < steps:
+        position = rng.randrange(n)
+        if position in word and rng.random() < 0.4:
+            script.append(Delete(symbol_relation(word.pop(position)), (position,)))
+            continue
+        if position in word:
+            script.append(Delete(symbol_relation(word.pop(position)), (position,)))
+        symbol = rng.choice(dfa.alphabet)
+        word[position] = symbol
+        script.append(Insert(symbol_relation(symbol), (position,)))
+    return script
+
+
+def dyck_edit_script(
+    k: int,
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+    p_balanced_bias: float = 0.5,
+) -> list[Request]:
+    """Random parenthesis edits over k types, keeping < n tokens (the
+    height-overflow contract).  With probability ``p_balanced_bias`` an
+    insert tries to close the most recent open paren (so the workload
+    actually visits balanced words rather than almost never)."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    word: dict[int, tuple[str, int]] = {}
+
+    def emit_insert(position: int, side: str, ptype: int) -> None:
+        name = left_relation(ptype) if side == "L" else right_relation(ptype)
+        word[position] = (side, ptype)
+        script.append(Insert(name, (position,)))
+
+    while len(script) < steps:
+        position = rng.randrange(n)
+        if position in word and rng.random() < 0.45:
+            side, ptype = word.pop(position)
+            name = left_relation(ptype) if side == "L" else right_relation(ptype)
+            script.append(Delete(name, (position,)))
+            continue
+        if position in word or len(word) >= n - 1:
+            continue
+        if rng.random() < p_balanced_bias:
+            # close the nearest unmatched left paren before `position`
+            depth = 0
+            for prior in range(position - 1, -1, -1):
+                if prior not in word:
+                    continue
+                side, ptype = word[prior]
+                if side == "R":
+                    depth += 1
+                elif depth > 0:
+                    depth -= 1
+                else:
+                    emit_insert(position, "R", ptype)
+                    break
+            else:
+                emit_insert(position, "L", rng.randrange(1, k + 1))
+        else:
+            side = rng.choice(("L", "R"))
+            emit_insert(position, side, rng.randrange(1, k + 1))
+    return script
+
+
+def number_bit_script(
+    n: int,
+    steps: int,
+    seed: int | random.Random = 0,
+) -> list[Request]:
+    """Random bit toggles of the factors X and Y, positions < n // 2 (the
+    overflow contract of Proposition 4.7)."""
+    rng = _rng(seed)
+    script: list[Request] = []
+    bits = {"X": set(), "Y": set()}
+    for _ in range(steps):
+        which = rng.choice(("X", "Y"))
+        position = rng.randrange(max(1, n // 2))
+        if position in bits[which]:
+            script.append(Delete(which, (position,)))
+            bits[which].discard(position)
+        else:
+            script.append(Insert(which, (position,)))
+            bits[which].add(position)
+    return script

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.logic import Structure, Vocabulary
+
+
+@pytest.fixture
+def graph_vocab() -> Vocabulary:
+    return Vocabulary.parse("E^2, s, t")
+
+
+@pytest.fixture
+def path_graph(graph_vocab) -> Structure:
+    """0 -> 1 -> 2 -> 3 on a universe of 6, s = 0, t = 3."""
+    structure = Structure(graph_vocab, 6)
+    for u in range(3):
+        structure.add("E", (u, u + 1))
+    structure.set_constant("s", 0)
+    structure.set_constant("t", 3)
+    return structure
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xDEC0DE)

@@ -1,0 +1,234 @@
+"""The oracle layer itself, cross-checked (where possible against networkx,
+a third independent implementation)."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    DFA,
+    DisjointSets,
+    alternating_dfa,
+    alternating_reachable,
+    bits_to_int,
+    connected_components,
+    deterministic_reachable,
+    dyck_check,
+    edge_connectivity,
+    forest_lca,
+    forest_parents,
+    int_to_bits,
+    is_acyclic,
+    is_bipartite,
+    is_k_edge_connected,
+    kruskal_msf,
+    matching_is_maximal,
+    matching_is_valid,
+    max_flow_min_cut,
+    mod_counter_dfa,
+    reachable_pairs_undirected,
+    school_multiply_bits,
+    spanning_forest_is_valid,
+    substring_dfa,
+    transitive_closure,
+    transitive_reduction_dag,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+def _random_edges(rng, n, m):
+    return {
+        (min(a, b), max(a, b))
+        for a, b in (
+            (rng.randrange(n), rng.randrange(n)) for _ in range(m)
+        )
+        if a != b
+    }
+
+
+class TestUnionFind:
+    def test_components(self):
+        sets = DisjointSets(range(5))
+        sets.union(0, 1)
+        sets.union(3, 4)
+        components = {frozenset(c) for c in sets.components()}
+        assert components == {frozenset({0, 1}), frozenset({2}), frozenset({3, 4})}
+
+    def test_union_reports_merge(self):
+        sets = DisjointSets()
+        assert sets.union("a", "b")
+        assert not sets.union("a", "b")
+        assert len(sets) == 2
+
+
+class TestGraphOraclesAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_components(self, seed):
+        rng = random.Random(seed)
+        n, edges = 10, _random_edges(rng, 10, 14)
+        graph = networkx.Graph(sorted(edges))
+        graph.add_nodes_from(range(n))
+        ours = {frozenset(c) for c in connected_components(n, edges)}
+        theirs = {frozenset(c) for c in networkx.connected_components(graph)}
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bipartite(self, seed):
+        rng = random.Random(seed)
+        edges = _random_edges(rng, 8, 10)
+        graph = networkx.Graph(sorted(edges))
+        assert is_bipartite(8, edges) == networkx.is_bipartite(graph)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_min_cut(self, seed):
+        rng = random.Random(seed)
+        edges = _random_edges(rng, 7, 12)
+        graph = networkx.Graph(sorted(edges))
+        graph.add_nodes_from(range(7))
+        for s in range(3):
+            for t in range(3, 6):
+                ours = max_flow_min_cut(7, edges, s, t)
+                if networkx.has_path(graph, s, t):
+                    theirs = len(networkx.minimum_edge_cut(graph, s, t))
+                elif s != t:
+                    theirs = 0
+                assert ours == theirs
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_kruskal_weight(self, seed):
+        rng = random.Random(seed)
+        edges = _random_edges(rng, 8, 14)
+        weight = {e: rng.randrange(1, 9) for e in edges}
+        total, forest = kruskal_msf(8, edges, weight)
+        graph = networkx.Graph()
+        graph.add_nodes_from(range(8))
+        for (u, v), w in weight.items():
+            graph.add_edge(u, v, weight=w)
+        theirs = sum(
+            d["weight"]
+            for (_, _, d) in networkx.minimum_spanning_edges(graph, data=True)
+        )
+        assert total == theirs
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_transitive_closure(self, seed):
+        rng = random.Random(seed)
+        edges = {(rng.randrange(7), rng.randrange(7)) for _ in range(12)}
+        digraph = networkx.DiGraph(sorted(edges))
+        digraph.add_nodes_from(range(7))
+        theirs = set(networkx.transitive_closure(digraph).edges()) - {
+            (v, v) for v in range(7)
+        }
+        ours = transitive_closure(7, edges) - {(v, v) for v in range(7)}
+        assert ours == theirs
+
+    def test_transitive_reduction_dag(self):
+        edges = {(0, 1), (1, 2), (0, 2), (2, 3), (0, 3)}
+        ours = transitive_reduction_dag(5, edges)
+        digraph = networkx.DiGraph(sorted(edges))
+        theirs = set(networkx.transitive_reduction(digraph).edges())
+        assert ours == theirs
+
+
+class TestGraphHelpers:
+    def test_is_acyclic(self):
+        assert is_acyclic(4, {(0, 1), (1, 2)})
+        assert not is_acyclic(4, {(0, 1), (1, 0)})
+
+    def test_spanning_forest_validation(self):
+        edges = {(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)}
+        good = {(0, 1), (1, 0), (1, 2), (2, 1)}
+        cyclic = edges
+        assert spanning_forest_is_valid(4, edges, good)
+        assert not spanning_forest_is_valid(4, edges, cyclic)
+        assert not spanning_forest_is_valid(4, edges, set())  # doesn't span
+
+    def test_k_edge_connected_small_cases(self):
+        triangle = {(0, 1), (1, 2), (0, 2)}
+        assert is_k_edge_connected(4, triangle, 2)
+        assert not is_k_edge_connected(4, triangle, 3)
+        assert edge_connectivity(4, triangle) == 2
+        path = {(0, 1), (1, 2)}
+        assert not is_k_edge_connected(4, path, 2)
+        assert is_k_edge_connected(4, set(), 1)  # vacuous
+
+    def test_deterministic_reachable(self):
+        edges = {(0, 1), (1, 2), (1, 3)}
+        assert deterministic_reachable(5, edges, 0, 1)
+        assert not deterministic_reachable(5, edges, 0, 2)  # 1 branches
+        assert deterministic_reachable(5, edges, 4, 4)
+
+    def test_deterministic_reachable_terminates_on_cycle(self):
+        assert not deterministic_reachable(4, {(0, 1), (1, 0)}, 0, 3)
+
+    def test_forest_parents_rejects_double_parent(self):
+        with pytest.raises(ValueError):
+            forest_parents(4, {(0, 2), (1, 2)})
+
+    def test_forest_lca(self):
+        edges = {(0, 1), (0, 2), (1, 3)}
+        assert forest_lca(5, edges, 3, 2) == 0
+        assert forest_lca(5, edges, 3, 1) == 1
+        assert forest_lca(5, edges, 3, 4) is None
+
+    def test_matching_predicates(self):
+        edges = {(0, 1), (1, 0), (1, 2), (2, 1)}
+        matching = {(0, 1), (1, 0)}
+        assert matching_is_valid(edges, matching)
+        assert matching_is_maximal(edges, matching)
+        assert not matching_is_maximal(edges, set())
+        overlapping = {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert not matching_is_valid(edges, overlapping)
+
+
+class TestAutomata:
+    def test_mod_counter(self):
+        dfa = mod_counter_dfa(3)
+        assert dfa.run(["one"] * 6)
+        assert not dfa.run(["one"] * 4)
+        assert dfa.run([None, "one", None, "one", "one"])
+
+    def test_substring(self):
+        dfa = substring_dfa(["a", "b"], ["a", "b"])
+        assert dfa.run(list("aab"))
+        assert not dfa.run(list("bba"))
+        assert dfa.run(list("abbb"))  # absorbing accept
+
+    def test_alternating(self):
+        dfa = alternating_dfa()
+        assert dfa.run([])
+        assert dfa.run(list("abab"))
+        assert not dfa.run(list("aba"))
+
+    def test_incomplete_dfa_rejected(self):
+        with pytest.raises(ValueError):
+            DFA(2, ("a",), {(0, "a"): 1}, frozenset({0}))
+
+
+class TestStringsAndArithmetic:
+    def test_dyck_check(self):
+        assert dyck_check({0: ("L", 1), 3: ("R", 1)})
+        assert not dyck_check({0: ("R", 1), 1: ("L", 1)})
+        assert not dyck_check({0: ("L", 1), 1: ("R", 2)})
+
+    def test_bits_roundtrip(self):
+        assert bits_to_int(int_to_bits(1234)) == 1234
+        assert bits_to_int({(0,), (3,)}) == 9
+
+    def test_school_multiplication(self):
+        x, y = int_to_bits(37), int_to_bits(21)
+        assert bits_to_int(school_multiply_bits(x, y)) == 37 * 21
+
+
+class TestAlternating:
+    def test_and_or_semantics(self):
+        # 0 universal -> {1, 2}; 1 -> 3; 2 has no path to 3
+        edges = {(0, 1), (0, 2), (1, 3)}
+        assert 0 not in alternating_reachable(5, edges, {0}, 3)
+        assert 0 in alternating_reachable(5, edges, set(), 3)
+        edges.add((2, 3))
+        assert 0 in alternating_reachable(5, edges, {0}, 3)
+
+    def test_universal_with_no_successors_fails(self):
+        assert 0 not in alternating_reachable(3, set(), {0}, 2)

@@ -1,0 +1,49 @@
+"""Smoke tests: the CLI and every example script run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "reach_u" in out and "parity" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "parity", "--n", "6", "--steps", "20"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_unknown_program(self, capsys):
+        assert main(["verify", "nope"]) == 2
+
+    def test_bench_single(self, capsys):
+        assert main(["bench", "E18"]) == 0
+        assert "Bounded expansion" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "PV'" in out and "reach(0, 2) = True" in out
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "MISMATCH" not in result.stdout
+    assert result.stdout.strip()

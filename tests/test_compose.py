@@ -1,0 +1,50 @@
+"""Symbolic rule composition: compose_rule's level-k formulas must agree
+with actually applying the rule k times."""
+
+from repro.dynfo import DynFOEngine, compose_rule, inline_temporaries
+from repro.logic import RelationalEvaluator
+from repro.programs import make_reach_u_program
+from repro.programs.parity import make_parity_program
+from repro.workloads import undirected_script
+
+
+def test_composed_parity_insert_equals_two_inserts():
+    program = make_parity_program()
+    rule = program.on_insert["M"]
+    composed = compose_rule(rule, 2)
+    engine = DynFOEngine(program, 6)
+    engine.insert("M", 1)  # some existing state
+    # apply the level-2 formulas with params a1 = 2, a2 = 4
+    evaluator = RelationalEvaluator(engine.structure, {"a1": 2, "a2": 4})
+    frame_m, formula_m = composed["M"]
+    frame_b, formula_b = composed["b"]
+    composed_m = evaluator.rows(formula_m, frame_m)
+    composed_b = evaluator.rows(formula_b, frame_b)
+    # versus actually applying the two inserts
+    engine.insert("M", 2)
+    engine.insert("M", 4)
+    assert composed_m == engine.structure.relation("M")
+    assert bool(composed_b) == engine.structure.holds("b", ())
+
+
+def test_composed_reach_u_delete_equals_two_deletes():
+    program = make_reach_u_program()
+    rule = inline_temporaries(program.on_delete["E"])
+    composed = compose_rule(rule, 2)
+    engine = DynFOEngine(program, 6)
+    engine.run(undirected_script(6, 25, seed=3, p_delete=0.2))
+    params = {"a1": 0, "b1": 1, "a2": 1, "b2": 2}
+    evaluator = RelationalEvaluator(engine.structure, params)
+    results = {
+        name: evaluator.rows(formula, frame)
+        for name, (frame, formula) in composed.items()
+    }
+    engine.delete("E", 0, 1)
+    engine.delete("E", 1, 2)
+    for name, rows in results.items():
+        assert rows == engine.structure.relation(name), name
+
+
+def test_zero_levels_is_empty():
+    program = make_parity_program()
+    assert compose_rule(program.on_insert["M"], 0) == {}

@@ -1,0 +1,112 @@
+"""The dense (CRAM-style) evaluator: hand cases and the parallel-step
+accounting that experiment E16 relies on."""
+
+import pytest
+
+from repro.logic import (
+    Bit,
+    DenseEvaluator,
+    EvaluationError,
+    Structure,
+    Vocabulary,
+    connective_depth,
+)
+from repro.logic.dsl import Rel, c, eq, exists, forall, le
+
+E = Rel("E")
+
+
+@pytest.fixture
+def structure():
+    voc = Vocabulary.parse("E^2, b^0, s")
+    return Structure(
+        voc,
+        5,
+        relations={"E": [(0, 1), (1, 2), (3, 3)]},
+        constants={"s": 1},
+    )
+
+
+class TestDense:
+    def test_rows(self, structure):
+        rows = DenseEvaluator(structure).rows(
+            exists("z", E("x", "z") & E("z", "y")), ("x", "y")
+        )
+        assert rows == {(0, 2), (3, 3)}
+
+    def test_truth(self, structure):
+        assert DenseEvaluator(structure).truth(
+            forall("x y", E("x", "y") >> le("x", "y"))
+        )
+
+    def test_constants_and_bit(self, structure):
+        evaluator = DenseEvaluator(structure)
+        assert evaluator.rows(E(c("s"), "y"), ("y",)) == {(2,)}
+        assert evaluator.rows(Bit("x", 1), ("x",)) == {(2,), (3,)}
+
+    def test_nullary(self, structure):
+        evaluator = DenseEvaluator(structure)
+        assert not evaluator.truth(Rel("b")())
+        structure.add("b", ())
+        assert DenseEvaluator(structure).truth(Rel("b")())
+
+    def test_empty_frame(self, structure):
+        assert DenseEvaluator(structure).rows(eq(1, 1), ()) == {()}
+        assert DenseEvaluator(structure).rows(eq(0, 1), ()) == set()
+
+    def test_repeated_variable_atom(self, structure):
+        assert DenseEvaluator(structure).rows(E("x", "x"), ("x",)) == {(3,)}
+
+    def test_cell_budget_guard(self, structure):
+        evaluator = DenseEvaluator(structure, max_cells=10)
+        with pytest.raises(EvaluationError):
+            evaluator.rows(E("x", "y"), ("x", "y"))
+
+    def test_parallel_steps_tracks_connective_depth(self, structure):
+        """Each connective/quantifier is >= 1 vectorized op, and the count
+        is structure-size independent (the CRAM[1] claim)."""
+        formula = forall("x", exists("y", E("x", "y") | eq("x", "y")))
+        small = DenseEvaluator(structure)
+        small.truth(formula)
+        steps_small = small.parallel_steps
+        big_structure = Structure(structure.vocabulary, 9)
+        big = DenseEvaluator(big_structure)
+        big.truth(formula)
+        assert steps_small == big.parallel_steps
+        assert steps_small >= connective_depth(formula)
+
+
+class TestAxisSharing:
+    def test_sibling_scopes_share_axes(self, structure):
+        from repro.logic.dense import _assign_axes
+        from repro.logic.transform import standardize_apart
+
+        formula = standardize_apart(
+            exists("u", E("x", "u")) & exists("v", E("v", "x"))
+        )
+        axes, total = _assign_axes(formula, ("x",))
+        assert total == 2  # frame axis + ONE shared bound axis
+
+    def test_nested_scopes_get_distinct_axes(self, structure):
+        from repro.logic.dense import _assign_axes
+        from repro.logic.transform import standardize_apart
+
+        formula = standardize_apart(
+            exists("u", forall("v", E("u", "v")))
+        )
+        axes, total = _assign_axes(formula, ())
+        assert total == 2
+
+    def test_wide_formula_stays_feasible(self, structure):
+        """The 26-distinct-variable matching delete runs dense thanks to
+        axis sharing (it needs n^26 cells otherwise)."""
+        from repro.dynfo import DynFOEngine
+        from repro.programs import make_matching_program
+
+        engine = DynFOEngine(make_matching_program(), 6, backend="dense")
+        engine.insert("E", 0, 1)
+        engine.insert("E", 1, 2)
+        engine.delete("E", 0, 1)
+        assert engine.query("matching") == {(1, 2), (2, 1)} or engine.query(
+            "matching"
+        ) == {(0, 1), (1, 0)}

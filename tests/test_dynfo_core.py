@@ -1,0 +1,306 @@
+"""The Section 3 machinery: requests, program validation, the engine's
+synchronous/temporary semantics, and the verification harness itself."""
+
+import pytest
+
+from repro.dynfo import (
+    Delete,
+    DynFOEngine,
+    DynFOProgram,
+    Insert,
+    ProgramError,
+    Query,
+    RelationDef,
+    ReplayHarness,
+    Request,
+    SetConst,
+    UnsupportedRequest,
+    UpdateRule,
+    VerificationError,
+    apply_request,
+    check_memoryless,
+    evaluate_script,
+    inline_temporaries,
+    script_from_json,
+    script_to_json,
+    verify_program,
+)
+from repro.dynfo.verify import exact_boolean_checker
+from repro.logic import Structure, Vocabulary, holds
+from repro.logic.dsl import Rel, c, eq, exists, neq
+from repro.programs import make_parity_program
+
+
+class TestRequests:
+    def test_str_forms(self):
+        assert str(Insert("E", (1, 2))) == "ins(E, 1, 2)"
+        assert str(Delete("E", (1, 2))) == "del(E, 1, 2)"
+        assert str(SetConst("s", 3)) == "set(s, 3)"
+
+    def test_varargs_construction(self):
+        assert Insert("E", 1, 2) == Insert("E", (1, 2))
+
+    def test_json_roundtrip(self):
+        script = [Insert("E", (0, 1)), Delete("E", (0, 1)), SetConst("s", 2)]
+        assert script_from_json(script_to_json(script)) == script
+
+    def test_bad_json_op(self):
+        with pytest.raises(ValueError):
+            script_from_json('[{"op": "upsert"}]')
+
+    def test_evaluate_script(self):
+        voc = Vocabulary.parse("E^2, s")
+        structure = evaluate_script(
+            voc, 4, [Insert("E", (0, 1)), SetConst("s", 3), Delete("E", (0, 1))]
+        )
+        assert structure.cardinality("E") == 0
+        assert structure.constant("s") == 3
+
+    def test_symmetric_application(self):
+        voc = Vocabulary.parse("E^2")
+        structure = Structure.initial(voc, 4)
+        apply_request(structure, Insert("E", (0, 1)), symmetric={"E"})
+        assert structure.relation("E") == {(0, 1), (1, 0)}
+        apply_request(structure, Delete("E", (1, 0)), symmetric={"E"})
+        assert structure.cardinality("E") == 0
+
+    def test_symmetric_with_payload_column(self):
+        voc = Vocabulary.parse("Ew^3")
+        structure = Structure.initial(voc, 5)
+        apply_request(structure, Insert("Ew", (0, 1, 4)), symmetric={"Ew"})
+        assert structure.relation("Ew") == {(0, 1, 4), (1, 0, 4)}
+
+
+SIGMA = Vocabulary.parse("M^1")
+TAU = Vocabulary.parse("M^1, b^0")
+M, B = Rel("M"), Rel("b")
+
+
+def _rule(defs, params=("a",), temps=()):
+    return UpdateRule(params=params, definitions=tuple(defs), temporaries=tuple(temps))
+
+
+class TestProgramValidation:
+    def _program(self, **overrides):
+        kwargs = dict(
+            name="t",
+            input_vocabulary=SIGMA,
+            aux_vocabulary=TAU,
+            initial=lambda n: Structure.initial(TAU, n),
+            on_insert={"M": _rule([RelationDef("M", ("x",), M("x") | eq("x", c("a")))])},
+        )
+        kwargs.update(overrides)
+        return DynFOProgram(**kwargs)
+
+    def test_valid_program_builds(self):
+        self._program()
+
+    def test_unknown_relation_in_rule_key(self):
+        with pytest.raises(ProgramError):
+            self._program(on_insert={"Z": _rule([])})
+
+    def test_param_count_must_match_arity(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={"M": _rule([], params=("a", "b"))}
+            )
+
+    def test_unknown_aux_relation_in_definition(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={"M": _rule([RelationDef("Z", ("x",), M("x"))])}
+            )
+
+    def test_frame_arity_mismatch(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={"M": _rule([RelationDef("M", ("x", "y"), M("x"))])}
+            )
+
+    def test_unbound_variable_in_formula(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={"M": _rule([RelationDef("M", ("x",), M("y"))])}
+            )
+
+    def test_unknown_constant_in_formula(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={"M": _rule([RelationDef("M", ("x",), eq("x", c("zz")))])}
+            )
+
+    def test_out_of_tau_relation_in_formula(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={"M": _rule([RelationDef("M", ("x",), Rel("Z")("x"))])}
+            )
+
+    def test_duplicate_definition_rejected(self):
+        definition = RelationDef("M", ("x",), M("x"))
+        with pytest.raises(ProgramError):
+            self._program(on_insert={"M": _rule([definition, definition])})
+
+    def test_temporary_shadowing_rejected(self):
+        with pytest.raises(ProgramError):
+            self._program(
+                on_insert={
+                    "M": _rule(
+                        [RelationDef("M", ("x",), M("x"))],
+                        temps=[RelationDef("M", ("x",), M("x"))],
+                    )
+                }
+            )
+
+    def test_temporaries_visible_to_definitions(self):
+        self._program(
+            on_insert={
+                "M": _rule(
+                    [RelationDef("M", ("x",), Rel("T0")("x"))],
+                    temps=[RelationDef("T0", ("x",), M("x") | eq("x", c("a")))],
+                )
+            }
+        )
+
+    def test_set_rule_for_unknown_constant(self):
+        with pytest.raises(ProgramError):
+            self._program(on_set={"q": _rule([], params=("v",))})
+
+    def test_metrics(self):
+        program = make_parity_program()
+        assert program.max_quantifier_rank() == 0
+        assert program.max_connective_depth() >= 2
+        assert program.aux_arity() == 1
+
+
+class TestEngine:
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            DynFOEngine(make_parity_program(), 4, backend="quantum")
+
+    def test_unsupported_request(self):
+        engine = DynFOEngine(make_parity_program(), 4)
+        with pytest.raises(UnsupportedRequest):
+            engine.apply(Insert("Z", (0,)))
+
+    def test_unknown_query(self):
+        engine = DynFOEngine(make_parity_program(), 4)
+        with pytest.raises(KeyError):
+            engine.ask("nope")
+
+    def test_relational_query_via_ask_rejected(self):
+        program = make_parity_program()
+        program.queries = dict(program.queries)
+        program.queries["bits"] = Query("bits", M("x"), frame=("x",))
+        engine = DynFOEngine(program, 4)
+        with pytest.raises(ValueError):
+            engine.ask("bits")
+        assert engine.query("bits") == set()
+
+    def test_holds_in(self):
+        program = make_parity_program()
+        program.queries = dict(program.queries)
+        program.queries["bits"] = Query("bits", M("x"), frame=("x",))
+        engine = DynFOEngine(program, 4)
+        engine.insert("M", 2)
+        assert engine.holds_in("bits", 2)
+        assert not engine.holds_in("bits", 1)
+        with pytest.raises(ValueError):
+            engine.holds_in("bits", 1, 2)
+
+    def test_synchronous_semantics(self):
+        """b' must read the *old* M: inserting a fresh bit flips b even
+        though M' contains the bit."""
+        engine = DynFOEngine(make_parity_program(), 4)
+        engine.insert("M", 1)
+        assert engine.ask("odd")
+
+    def test_requests_applied_counter(self):
+        engine = DynFOEngine(make_parity_program(), 4)
+        engine.insert("M", 1)
+        engine.delete("M", 1)
+        assert engine.requests_applied == 2
+
+    def test_temporaries_do_not_leak_into_aux(self):
+        program = DynFOProgram(
+            name="t",
+            input_vocabulary=SIGMA,
+            aux_vocabulary=TAU,
+            initial=lambda n: Structure.initial(TAU, n),
+            on_insert={
+                "M": _rule(
+                    [RelationDef("M", ("x",), Rel("T0")("x"))],
+                    temps=[RelationDef("T0", ("x",), M("x") | eq("x", c("a")))],
+                )
+            },
+        )
+        engine = DynFOEngine(program, 4)
+        engine.insert("M", 2)
+        assert engine.structure.relation("M") == {(2,)}
+        assert not engine.structure.vocabulary.has_relation("T0")
+
+
+class TestInlineTemporaries:
+    def test_inlining_preserves_semantics(self):
+        temp = RelationDef("T0", ("x",), M("x") | eq("x", c("a")))
+        rule = _rule(
+            [RelationDef("M", ("x",), Rel("T0")("x") & neq("x", c("a")) | Rel("T0")("x"))],
+            temps=[temp],
+        )
+        flat = inline_temporaries(rule)
+        assert flat.temporaries == ()
+        program_t = DynFOProgram(
+            name="with_temps",
+            input_vocabulary=SIGMA,
+            aux_vocabulary=TAU,
+            initial=lambda n: Structure.initial(TAU, n),
+            on_insert={"M": rule},
+        )
+        program_f = DynFOProgram(
+            name="inlined",
+            input_vocabulary=SIGMA,
+            aux_vocabulary=TAU,
+            initial=lambda n: Structure.initial(TAU, n),
+            on_insert={"M": flat},
+        )
+        ea, eb = DynFOEngine(program_t, 5), DynFOEngine(program_f, 5)
+        for bitpos in (1, 3, 1):
+            ea.insert("M", bitpos)
+            eb.insert("M", bitpos)
+            assert ea.aux_snapshot() == eb.aux_snapshot()
+
+
+class TestVerifyHarness:
+    def test_catches_broken_program(self):
+        """A PARITY program with an inverted toggle must be caught."""
+        broken = make_parity_program()
+        rule = broken.on_insert["M"]
+        # swap the b' definition for plain b (never toggles)
+        defs = tuple(
+            d if d.name != "b" else RelationDef("b", (), B())
+            for d in rule.definitions
+        )
+        broken.on_insert = {"M": UpdateRule(params=("a",), definitions=defs)}
+        checker = exact_boolean_checker(
+            "odd", lambda inputs: len(inputs.relation_view("M")) % 2 == 1
+        )
+        with pytest.raises(VerificationError):
+            verify_program(broken, 4, [Insert("M", (1,))], [checker])
+
+    def test_mirror_check(self):
+        harness = ReplayHarness(make_parity_program(), 4)
+        harness.step(Insert("M", (2,)))
+        harness.check_input_mirrored()
+
+    def test_memoryless_accepts_parity(self):
+        check_memoryless(
+            make_parity_program(),
+            4,
+            [Insert("M", (1,)), Insert("M", (2,))],
+            [Insert("M", (2,)), Insert("M", (1,)), Insert("M", (1,))],
+        )
+
+    def test_memoryless_rejects_different_inputs(self):
+        with pytest.raises(ValueError):
+            check_memoryless(
+                make_parity_program(), 4, [Insert("M", (1,))], [Insert("M", (2,))]
+            )

@@ -1,0 +1,87 @@
+"""The reference (naive) evaluator: hand-checked semantics."""
+
+import pytest
+
+from repro.logic import (
+    Bit,
+    Const,
+    EvaluationError,
+    Le,
+    Lit,
+    Lt,
+    Structure,
+    Vocabulary,
+    holds,
+    naive_query,
+)
+from repro.logic.dsl import Rel, eq, exists, forall
+from repro.logic.evaluation import eval_term
+from repro.logic.syntax import Var
+
+E = Rel("E")
+
+
+class TestTerms:
+    def test_min_max(self, path_graph):
+        assert eval_term(Const("min"), path_graph, {}) == 0
+        assert eval_term(Const("max"), path_graph, {}) == 5
+
+    def test_structure_constants(self, path_graph):
+        assert eval_term(Const("t"), path_graph, {}) == 3
+
+    def test_params_shadow_structure_constants(self, path_graph):
+        assert eval_term(Const("t"), path_graph, {}, {"t": 1}) == 1
+
+    def test_unbound_variable(self, path_graph):
+        with pytest.raises(EvaluationError):
+            eval_term(Var("zz"), path_graph, {})
+
+    def test_literal_out_of_universe(self, path_graph):
+        with pytest.raises(EvaluationError):
+            eval_term(Lit(6), path_graph, {})
+
+
+class TestHolds:
+    def test_atom(self, path_graph):
+        assert holds(E(0, 1), path_graph)
+        assert not holds(E(1, 0), path_graph)
+
+    def test_numeric_predicates(self, path_graph):
+        assert holds(Le(2, 2), path_graph)
+        assert not holds(Lt(2, 2), path_graph)
+        assert holds(Bit(5, 0), path_graph)  # 5 = 0b101
+        assert holds(Bit(5, 2), path_graph)
+        assert not holds(Bit(5, 1), path_graph)
+
+    def test_quantifiers(self, path_graph):
+        two_step = exists("z", E("x", "z") & E("z", "y"))
+        assert holds(two_step, path_graph, {"x": 0, "y": 2})
+        assert not holds(two_step, path_graph, {"x": 0, "y": 3})
+        assert holds(forall("u v", E("u", "v") >> Lt("u", "v")), path_graph)
+
+    def test_quantifier_shadowing_restores_assignment(self, path_graph):
+        formula = exists("x", E("x", 1))
+        assignment = {"x": 5}
+        assert holds(formula, path_graph, assignment)
+        assert assignment == {"x": 5}
+
+    def test_implies_iff(self, path_graph):
+        assert holds(E(0, 1) >> E(1, 2), path_graph)
+        assert holds(E(0, 1).iff(E(1, 2)), path_graph)
+        assert not holds(E(0, 1).iff(E(1, 0)), path_graph)
+
+
+class TestNaiveQuery:
+    def test_frame_must_cover_free_vars(self, path_graph):
+        with pytest.raises(EvaluationError):
+            naive_query(E("x", "y"), path_graph, ("x",))
+
+    def test_extra_frame_columns_enumerate(self, path_graph):
+        rows = naive_query(eq("x", 0), path_graph, ("x", "w"))
+        assert rows == {(0, w) for w in range(6)}
+
+    def test_two_step_pairs(self, path_graph):
+        rows = naive_query(
+            exists("z", E("x", "z") & E("z", "y")), path_graph, ("x", "y")
+        )
+        assert rows == {(0, 2), (1, 3)}

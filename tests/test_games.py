@@ -1,0 +1,79 @@
+"""EF games: the paper's static-inexpressibility motivation, demonstrated.
+
+Connectivity and parity are not static FO (over the bare relational
+vocabulary); the k-round game makes that concrete on small structures.
+"""
+
+import pytest
+
+from repro.logic import Structure, Vocabulary, distinguishing_rank, duplicator_wins
+from repro.logic.games import partial_isomorphism
+
+VOC = Vocabulary.parse("E^2")
+
+
+def cycle(n: int, length: int, offset: int = 0) -> set[tuple[int, int]]:
+    return {
+        ((offset + i) % n, (offset + (i + 1) % length) % n)
+        for i in range(length)
+    }
+
+
+def make_graph(n: int, edges) -> Structure:
+    structure = Structure(VOC, n)
+    for (u, v) in edges:
+        structure.add("E", (u, v))
+        structure.add("E", (v, u))
+    return structure
+
+
+class TestPartialIsomorphism:
+    def test_empty_map_on_same_vocab(self):
+        a, b = make_graph(3, []), make_graph(4, [])
+        assert partial_isomorphism(a, b, ())
+
+    def test_edge_mismatch_detected(self):
+        a = make_graph(3, [(0, 1)])
+        b = make_graph(3, [])
+        assert not partial_isomorphism(a, b, ((0, 0), (1, 1)))
+
+    def test_non_injective_rejected(self):
+        a = make_graph(3, [])
+        b = make_graph(3, [])
+        assert not partial_isomorphism(a, b, ((0, 0), (1, 0)))
+
+    def test_order_respected_when_asked(self):
+        a = make_graph(3, [])
+        b = make_graph(3, [])
+        pairs = ((0, 2), (1, 1))
+        assert partial_isomorphism(a, b, pairs)
+        assert not partial_isomorphism(a, b, pairs, with_order=True)
+
+
+class TestGames:
+    def test_identical_structures_always_duplicated(self):
+        g = make_graph(4, [(0, 1), (2, 3)])
+        assert duplicator_wins(g, g.copy(), 3)
+
+    def test_one_cycle_vs_two_cycles(self):
+        """C_8 is connected; 2 C_4 is not — yet Duplicator survives 2
+        rounds, illustrating why connectivity needs the *dynamic* route."""
+        one = make_graph(8, cycle(8, 8))
+        two_edges = {(i, (i + 1) % 4) for i in range(4)} | {
+            (4 + i, 4 + (i + 1) % 4) for i in range(4)
+        }
+        two = make_graph(8, two_edges)
+        assert duplicator_wins(one, two, 2)
+        rank = distinguishing_rank(one, two, max_rounds=4)
+        assert rank is not None and rank >= 3
+
+    def test_edge_count_parity_needs_rank(self):
+        """A single edge vs no edge is distinguished with 2 pebbles."""
+        some = make_graph(4, [(0, 1)])
+        none = make_graph(4, [])
+        assert distinguishing_rank(some, none, max_rounds=3) == 2
+
+    def test_distinguishing_rank_none_for_isomorphic(self):
+        a = make_graph(4, [(0, 1)])
+        b = make_graph(4, [(2, 3)])
+        assert distinguishing_rank(a, b, max_rounds=3) is None

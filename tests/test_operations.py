@@ -1,0 +1,97 @@
+"""Note 3.3: extended operation alphabets, realized by symbolic composition.
+
+An ``Operation`` request fires a program-defined rule in one simultaneous
+FO step; ``rule_from_composition`` builds such rules as k-fold compositions
+of the basic insert/delete rules.  The key property under test: a compound
+operation equals its expansion applied request-by-request.
+"""
+
+import pytest
+
+from repro.dynfo import (
+    Delete,
+    DynFOEngine,
+    Insert,
+    Operation,
+    UnsupportedRequest,
+    evaluate_script,
+    verify_program,
+)
+from repro.dynfo.compose import rule_from_composition
+from repro.dynfo.oracles import connectivity_checker
+from repro.programs import make_parity_program, make_reach_u_program
+
+
+def _triangle_program():
+    """REACH_u extended with insert_triangle(a, b, c) = three edge inserts
+    in a single first-order step."""
+    program = make_reach_u_program()
+    composed = rule_from_composition(program.on_insert["E"], 3)
+    program.on_operation = {"insert_triangle": composed}
+    program.validate()
+    return program
+
+
+def triangle(a: int, b: int, c: int) -> Operation:
+    return Operation(
+        "insert_triangle",
+        (a, b, b, c, a, c),
+        expansion=(Insert("E", (a, b)), Insert("E", (b, c)), Insert("E", (a, c))),
+    )
+
+
+class TestTriangleOperation:
+    def test_operation_equals_expansion(self):
+        program = _triangle_program()
+        via_op = DynFOEngine(program, 7)
+        via_basic = DynFOEngine(program, 7)
+        via_op.insert("E", 0, 5)
+        via_basic.insert("E", 0, 5)
+        request = triangle(1, 2, 3)
+        via_op.apply(request)
+        for basic in request.expansion:
+            via_basic.apply(basic)
+        assert via_op.aux_snapshot() == via_basic.aux_snapshot()
+
+    def test_operation_under_verification_harness(self):
+        program = _triangle_program()
+        script = [
+            triangle(0, 1, 2),
+            Insert("E", (2, 3)),
+            triangle(3, 4, 5),
+            Delete("E", (2, 3)),
+            triangle(0, 3, 6),
+        ]
+        verify_program(program, 7, script, [connectivity_checker()])
+
+    def test_connectivity_through_triangles(self):
+        program = _triangle_program()
+        engine = DynFOEngine(program, 7)
+        engine.apply(triangle(0, 1, 2))
+        engine.apply(triangle(2, 3, 4))
+        assert engine.ask("reach", s=0, t=4)
+        assert not engine.ask("reach", s=0, t=5)
+
+    def test_evaluate_script_expands_operations(self):
+        program = _triangle_program()
+        inputs = evaluate_script(
+            program.input_vocabulary, 7, [triangle(0, 1, 2)], {"E"}
+        )
+        assert (0, 1) in inputs.relation_view("E")
+        assert (2, 1) in inputs.relation_view("E")  # symmetric orientation
+
+    def test_unknown_operation_rejected(self):
+        engine = DynFOEngine(make_parity_program(), 5)
+        with pytest.raises(UnsupportedRequest):
+            engine.apply(Operation("zap", (), expansion=()))
+
+    def test_wrong_arity_rejected(self):
+        program = _triangle_program()
+        engine = DynFOEngine(program, 7)
+        with pytest.raises(UnsupportedRequest):
+            engine.apply(
+                Operation("insert_triangle", (0, 1), expansion=())
+            )
+
+    def test_operation_str(self):
+        assert str(triangle(0, 1, 2)) == "insert_triangle(0, 1, 1, 2, 0, 2)"

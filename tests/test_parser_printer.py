@@ -1,0 +1,118 @@
+"""Parser / printer: hand cases, precedence, and round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Atom,
+    Bit,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    Le,
+    Lit,
+    Lt,
+    Not,
+    Or,
+    ParseError,
+    TOP,
+    Var,
+    format_formula,
+    parse_formula,
+)
+
+from .formula_gen import formulas
+
+
+class TestParsing:
+    def test_atom(self):
+        assert parse_formula("E(x, y)") == Atom("E", ("x", "y"))
+
+    def test_nullary_atom(self):
+        assert parse_formula("b()") == Atom("b", ())
+
+    def test_comparisons(self):
+        assert parse_formula("x = y") == Eq("x", "y")
+        assert parse_formula("x <= y") == Le("x", "y")
+        assert parse_formula("x < 3") == Lt("x", 3)
+        assert parse_formula("BIT(x, y)") == Bit("x", "y")
+
+    def test_constants_need_declaring(self):
+        assert parse_formula("x = a").right == Var("a")
+        assert parse_formula("x = a", constants=["a"]).right == Const("a")
+        assert parse_formula("x = min").right == Const("min")
+        assert parse_formula("x = 2").right == Lit(2)
+
+    def test_precedence(self):
+        formula = parse_formula("P(x) & Q(x) | R(x)")
+        assert isinstance(formula, Or)
+        formula = parse_formula("P(x) -> Q(x) -> R(x)")  # right associative
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_quantifier_binds_tightly(self):
+        formula = parse_formula("exists x. P(x) & Q(y)")
+        assert isinstance(formula, And)
+        assert isinstance(formula.parts[0], Exists)
+
+    def test_quantifier_with_parens_widens(self):
+        formula = parse_formula("exists x. (P(x) & Q(x))")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, And)
+
+    def test_multi_variable_quantifier(self):
+        formula = parse_formula("forall u v. E(u, v)")
+        assert isinstance(formula, Forall)
+        assert formula.vars == ("u", "v")
+
+    def test_not_variants(self):
+        assert parse_formula("~P(x)") == Not(Atom("P", ("x",)))
+        assert parse_formula("!P(x)") == Not(Atom("P", ("x",)))
+
+    def test_true_false(self):
+        assert parse_formula("true") == TOP
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("P(x) P(y)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("(P(x)")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("P(x) @ Q(y)")
+
+    def test_bit_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_formula("BIT(x)")
+
+    def test_keyword_as_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("x = exists")
+
+
+class TestPrinting:
+    def test_simple(self):
+        assert format_formula(Atom("E", ("x", "y"))) == "E(x, y)"
+
+    def test_or_of_ands_needs_no_parens(self):
+        formula = Or((And((Atom("P", ("x",)), Atom("Q", ("x",)))), Atom("R", ("x",))))
+        assert format_formula(formula) == "P(x) & Q(x) | R(x)"
+
+    def test_and_of_ors_parenthesizes(self):
+        formula = And((Or((Atom("P", ("x",)), Atom("Q", ("x",)))), Atom("R", ("x",))))
+        assert format_formula(formula) == "(P(x) | Q(x)) & R(x)"
+
+
+@settings(max_examples=200, deadline=None)
+@given(formulas())
+def test_print_parse_roundtrip(formula):
+    """Printing then parsing is the identity (constants declared)."""
+    text = format_formula(formula)
+    reparsed = parse_formula(text, constants=["s", "t"])
+    assert reparsed == formula, text

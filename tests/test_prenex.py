@@ -1,0 +1,75 @@
+"""Prenex normal form: structure and semantics."""
+
+from hypothesis import given, settings
+
+from repro.logic import (
+    And,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    naive_query,
+    quantifier_prefix,
+    to_prenex,
+)
+from repro.logic.dsl import Rel, eq, exists, forall
+from repro.logic.transform import free_vars
+
+from .formula_gen import formulas, structures
+
+E = Rel("E")
+U = Rel("U")
+
+
+def _is_prenex(formula) -> bool:
+    node = formula
+    while isinstance(node, (Exists, Forall)):
+        node = node.body
+    # the matrix must be quantifier-free
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (Exists, Forall)):
+            return False
+        if isinstance(item, (And, Or)):
+            stack.extend(item.parts)
+        elif isinstance(item, Not):
+            stack.append(item.body)
+    return True
+
+
+class TestShape:
+    def test_already_prenex(self):
+        formula = exists("x", forall("y", E("x", "y")))
+        assert _is_prenex(to_prenex(formula))
+
+    def test_hoists_from_conjunction(self):
+        formula = exists("x", U("x")) & forall("y", U("y"))
+        prenexed = to_prenex(formula)
+        assert _is_prenex(prenexed)
+        prefix = quantifier_prefix(prenexed)
+        assert sorted(kind for kind, _ in prefix) == ["exists", "forall"]
+
+    def test_negated_quantifier_dualizes(self):
+        formula = ~exists("x", U("x"))
+        prenexed = to_prenex(formula)
+        assert isinstance(prenexed, Forall)
+
+    def test_vacuous_quantifier_dropped(self):
+        formula = exists("x", U("y"))
+        prenexed = to_prenex(formula)
+        assert quantifier_prefix(prenexed) == []
+
+    def test_free_vars_preserved(self):
+        formula = exists("z", E("x", "z")) | forall("z", E("z", "y"))
+        assert free_vars(to_prenex(formula)) == {"x", "y"}
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas(), structures())
+def test_prenex_preserves_semantics(formula, structure):
+    frame = tuple(sorted(free_vars(formula)))
+    expected = naive_query(formula, structure, frame)
+    prenexed = to_prenex(formula)
+    assert _is_prenex(prenexed)
+    assert naive_query(prenexed, structure, frame) == expected

@@ -1,0 +1,65 @@
+"""Theorem 4.5(1): bipartiteness via odd-parity forest paths."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, verify_program
+from repro.dynfo.oracles import bipartite_checker, connectivity_checker
+from repro.programs import make_bipartite_program
+from repro.workloads import undirected_script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_against_oracle(seed):
+    verify_program(
+        make_bipartite_program(),
+        7,
+        undirected_script(7, 80, seed),
+        [bipartite_checker(), connectivity_checker()],
+    )
+
+
+def test_odd_cycle_detected_and_recovered():
+    engine = DynFOEngine(make_bipartite_program(), 6)
+    for (u, v) in [(0, 1), (1, 2)]:
+        engine.insert("E", u, v)
+    assert engine.ask("bipartite")
+    engine.insert("E", 0, 2)  # triangle
+    assert not engine.ask("bipartite")
+    engine.delete("E", 1, 2)
+    assert engine.ask("bipartite")
+
+
+def test_even_cycle_stays_bipartite():
+    engine = DynFOEngine(make_bipartite_program(), 6)
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)]:
+        engine.insert("E", u, v)
+    assert engine.ask("bipartite")
+
+
+def test_self_loop_not_bipartite():
+    engine = DynFOEngine(make_bipartite_program(), 4)
+    engine.insert("E", 1, 1)
+    assert not engine.ask("bipartite")
+    engine.delete("E", 1, 1)
+    assert engine.ask("bipartite")
+
+
+def test_odd_relation_is_forest_path_parity():
+    engine = DynFOEngine(make_bipartite_program(), 6)
+    for (u, v) in [(0, 1), (1, 2), (2, 3)]:
+        engine.insert("E", u, v)
+    odd = engine.query("odd")
+    assert (0, 1) in odd and (0, 3) in odd
+    assert (0, 2) not in odd
+    assert (1, 0) in odd  # symmetric
+
+
+def test_deleting_non_forest_edge_keeps_odd():
+    engine = DynFOEngine(make_bipartite_program(), 6)
+    for (u, v) in [(0, 1), (1, 2), (0, 2)]:
+        engine.insert("E", u, v)
+    engine.delete("E", 0, 2)  # non-forest edge (triangle closer)
+    assert engine.ask("bipartite")
+    # odd pairs of the path 0-1-2 must be intact
+    odd = engine.query("odd")
+    assert (0, 1) in odd and (1, 2) in odd and (0, 2) not in odd

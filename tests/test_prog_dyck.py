@@ -1,0 +1,79 @@
+"""Proposition 4.8: the Dyck languages D^k."""
+
+import pytest
+
+from repro.baselines import dyck_check
+from repro.dynfo import DynFOEngine, ReplayHarness, VerificationError
+from repro.logic.structure import Structure
+from repro.programs import make_dyck_program
+from repro.programs.dyck import left_relation, right_relation
+from repro.workloads import dyck_edit_script
+
+
+def _dyck_checker(k):
+    def check(inputs: Structure, engine) -> None:
+        word = {}
+        for t in range(1, k + 1):
+            for (p,) in inputs.relation_view(left_relation(t)):
+                word[p] = ("L", t)
+            for (p,) in inputs.relation_view(right_relation(t)):
+                word[p] = ("R", t)
+        expected = dyck_check(word)
+        got = engine.ask("member")
+        if expected != got:
+            raise VerificationError(f"{word}: parser says {expected}, got {got}")
+
+    return check
+
+
+@pytest.mark.parametrize("k,seed", [(1, 0), (2, 1), (2, 2), (3, 3)])
+def test_randomized_against_parser(k, seed):
+    program = make_dyck_program(k)
+    harness = ReplayHarness(program, 9, checkers=[_dyck_checker(k)])
+    harness.run(dyck_edit_script(k, 9, 110, seed))
+
+
+def test_k_must_be_positive():
+    with pytest.raises(ValueError):
+        make_dyck_program(0)
+
+
+def _write(engine, tokens):
+    for position, (side, t) in enumerate(tokens):
+        name = left_relation(t) if side == "L" else right_relation(t)
+        engine.insert(name, position)
+
+
+def test_balanced_nesting():
+    engine = DynFOEngine(make_dyck_program(2), 10)
+    _write(engine, [("L", 1), ("L", 2), ("R", 2), ("R", 1)])
+    assert engine.ask("member")
+
+
+def test_type_mismatch_rejected():
+    engine = DynFOEngine(make_dyck_program(2), 10)
+    _write(engine, [("L", 1), ("R", 2)])
+    assert not engine.ask("member")
+
+
+def test_negative_dip_rejected_then_recovers():
+    engine = DynFOEngine(make_dyck_program(1), 10)
+    engine.insert(right_relation(1), 2)
+    assert not engine.ask("member")
+    engine.insert(left_relation(1), 0)
+    assert engine.ask("member")
+
+
+def test_empty_word_is_member():
+    engine = DynFOEngine(make_dyck_program(3), 6)
+    assert engine.ask("member")
+
+
+def test_heights_track_prefix_sums():
+    engine = DynFOEngine(make_dyck_program(1), 8)
+    _write(engine, [("L", 1), ("L", 1), ("R", 1)])
+    heights = dict()
+    for (q, l) in engine.query("height"):
+        heights[q] = l
+    assert heights[0] == 1 and heights[1] == 2 and heights[2] == 1
+    assert heights[7] == 1  # trailing empties keep the last height

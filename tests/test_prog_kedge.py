@@ -1,0 +1,67 @@
+"""Theorem 4.5(2): k-edge connectivity via composed deletion formulas."""
+
+import pytest
+
+from repro.baselines import is_k_edge_connected
+from repro.dynfo import Delete, Insert, ReplayHarness
+from repro.logic.transform import connective_depth, formula_size, free_vars
+from repro.programs import KEdgeAnalyzer, k_edge_connectivity_sentence, make_kedge_program
+from repro.workloads import undirected_script
+
+
+def test_sentence_is_closed_and_grows_with_k():
+    s1 = k_edge_connectivity_sentence(1)
+    s2 = k_edge_connectivity_sentence(2)
+    assert free_vars(s1) == set() and free_vars(s2) == set()
+    assert formula_size(s2) > formula_size(s1)
+    assert connective_depth(s2) > connective_depth(s1)
+
+
+def test_k_must_be_positive():
+    with pytest.raises(ValueError):
+        k_edge_connectivity_sentence(0)
+
+
+def test_hand_cases():
+    harness = ReplayHarness(make_kedge_program(), 6)
+    analyzer = KEdgeAnalyzer(harness.engine, max_deletions=2)
+    # a path: 1-edge-connected only
+    for (u, v) in [(0, 1), (1, 2)]:
+        harness.step(Insert("E", (u, v)))
+    assert analyzer.is_k_edge_connected(1)
+    assert not analyzer.is_k_edge_connected(2)
+    # close the triangle: now 2-edge-connected, not 3
+    harness.step(Insert("E", (0, 2)))
+    assert analyzer.is_k_edge_connected(2)
+    assert not analyzer.is_k_edge_connected(3)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_randomized_against_max_flow(seed):
+    harness = ReplayHarness(make_kedge_program(), 6)
+    analyzer = KEdgeAnalyzer(harness.engine, max_deletions=1)
+    for i, request in enumerate(undirected_script(6, 30, seed, p_delete=0.35)):
+        harness.step(request)
+        if i % 5 == 0:
+            edges = set(harness.inputs.relation_view("E"))
+            for k in (1, 2):
+                got = analyzer.is_k_edge_connected(k)
+                want = is_k_edge_connected(6, edges, k)
+                assert got == want, (i, k, sorted(edges))
+
+
+def test_k3_spot_check():
+    """One deeper composition (two symbolic deletions) on a small graph."""
+    harness = ReplayHarness(make_kedge_program(), 5)
+    analyzer = KEdgeAnalyzer(harness.engine, max_deletions=2)
+    # K4 on {0,1,2,3} is 3-edge-connected
+    for u in range(4):
+        for v in range(u + 1, 4):
+            harness.step(Insert("E", (u, v)))
+    edges = set(harness.inputs.relation_view("E"))
+    assert is_k_edge_connected(5, edges, 3)
+    assert analyzer.is_k_edge_connected(3)
+    harness.step(Delete("E", (0, 1)))
+    edges = set(harness.inputs.relation_view("E"))
+    assert not is_k_edge_connected(5, edges, 3)
+    assert not analyzer.is_k_edge_connected(3)

@@ -1,0 +1,45 @@
+"""Theorem 4.5(4): lowest common ancestors in directed forests."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, verify_program
+from repro.dynfo.oracles import lca_checker, paths_checker
+from repro.programs import make_lca_program
+from repro.workloads import forest_script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_against_oracle(seed):
+    verify_program(
+        make_lca_program(),
+        7,
+        forest_script(7, 80, seed),
+        [lca_checker(), paths_checker()],
+    )
+
+
+def test_hand_tree():
+    engine = DynFOEngine(make_lca_program(), 8)
+    #        0
+    #       / \
+    #      1   2
+    #     / \
+    #    3   4
+    for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4)]:
+        engine.insert("E", u, v)
+    assert engine.query("lca_of", u=3, v=4) == {(1,)}
+    assert engine.query("lca_of", u=3, v=2) == {(0,)}
+    assert engine.query("lca_of", u=3, v=1) == {(1,)}
+    assert engine.query("lca_of", u=3, v=3) == {(3,)}
+    assert engine.query("lca_of", u=3, v=5) == set()  # different trees
+
+
+def test_lca_after_subtree_detach():
+    engine = DynFOEngine(make_lca_program(), 8)
+    for (u, v) in [(0, 1), (1, 2), (1, 3)]:
+        engine.insert("E", u, v)
+    assert engine.query("lca_of", u=2, v=3) == {(1,)}
+    engine.delete("E", 0, 1)  # detaching above the LCA changes nothing here
+    assert engine.query("lca_of", u=2, v=3) == {(1,)}
+    engine.delete("E", 1, 2)
+    assert engine.query("lca_of", u=2, v=3) == set()

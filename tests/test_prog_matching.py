@@ -1,0 +1,69 @@
+"""Theorem 4.5(3): maximal matching (answer checked by property)."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, verify_program
+from repro.dynfo.oracles import matching_checker
+from repro.programs import make_matching_program
+from repro.workloads import bounded_degree_script, undirected_script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_general_graphs(seed):
+    verify_program(
+        make_matching_program(), 7, undirected_script(7, 120, seed), [matching_checker()]
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_randomized_bounded_degree(seed):
+    """The regime the paper highlights (no sub-linear classical algorithm)."""
+    verify_program(
+        make_matching_program(),
+        8,
+        bounded_degree_script(8, 100, max_degree=3, seed=seed),
+        [matching_checker()],
+    )
+
+
+def test_insert_matches_free_endpoints():
+    engine = DynFOEngine(make_matching_program(), 6)
+    engine.insert("E", 0, 1)
+    assert engine.query("matching") == {(0, 1), (1, 0)}
+    engine.insert("E", 1, 2)  # 1 already matched
+    assert engine.query("matching") == {(0, 1), (1, 0)}
+    engine.insert("E", 2, 3)  # both free
+    assert {(2, 3), (3, 2)} <= engine.query("matching")
+
+
+def test_delete_rematches_greedily():
+    engine = DynFOEngine(make_matching_program(), 6)
+    engine.insert("E", 1, 2)          # matched
+    engine.insert("E", 1, 0)
+    engine.insert("E", 2, 3)
+    engine.delete("E", 1, 2)
+    matching = engine.query("matching")
+    assert (1, 0) in matching or (0, 1) in matching
+    assert (2, 3) in matching
+
+
+def test_delete_unmatched_edge_is_noop_for_matching():
+    engine = DynFOEngine(make_matching_program(), 6)
+    engine.insert("E", 0, 1)
+    engine.insert("E", 1, 2)
+    before = engine.query("matching")
+    engine.delete("E", 1, 2)
+    assert engine.query("matching") == before
+
+
+def test_self_loop_never_matched():
+    engine = DynFOEngine(make_matching_program(), 4)
+    engine.insert("E", 2, 2)
+    assert engine.query("matching") == set()
+
+
+def test_is_matched_query():
+    engine = DynFOEngine(make_matching_program(), 5)
+    engine.insert("E", 0, 1)
+    assert engine.ask("is_matched", v=0)
+    assert not engine.ask("is_matched", v=2)

@@ -1,0 +1,66 @@
+"""Theorem 4.4: minimum spanning forests (memoryless via key tie-break)."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, Insert, check_memoryless, verify_program
+from repro.dynfo.oracles import msf_checker
+from repro.programs import make_msf_program
+from repro.workloads import weighted_script
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_randomized_against_kruskal(seed):
+    verify_program(
+        make_msf_program(), 7, weighted_script(7, 90, seed), [msf_checker()]
+    )
+
+
+def test_insert_swap_replaces_heaviest_path_edge():
+    engine = DynFOEngine(make_msf_program(), 6)
+    engine.insert("Ew", 0, 1, 5)
+    engine.insert("Ew", 1, 2, 4)
+    forest = {frozenset(e) for e in engine.query("forest")}
+    assert forest == {frozenset((0, 1)), frozenset((1, 2))}
+    # a cheaper 0-2 edge swaps out the heaviest edge on the 0..2 path
+    engine.insert("Ew", 0, 2, 1)
+    forest = {frozenset(e) for e in engine.query("forest")}
+    assert forest == {frozenset((0, 2)), frozenset((1, 2))}
+
+
+def test_insert_worse_edge_changes_nothing():
+    engine = DynFOEngine(make_msf_program(), 6)
+    engine.insert("Ew", 0, 1, 1)
+    engine.insert("Ew", 1, 2, 2)
+    before = engine.query("forest")
+    engine.insert("Ew", 0, 2, 5)
+    assert engine.query("forest") == before
+
+
+def test_delete_reconnects_via_cheapest():
+    engine = DynFOEngine(make_msf_program(), 6)
+    engine.insert("Ew", 0, 1, 1)
+    engine.insert("Ew", 1, 2, 1)
+    engine.insert("Ew", 0, 2, 4)  # non-forest backup edge
+    engine.delete("Ew", 0, 1, 1)
+    forest = {frozenset(e) for e in engine.query("forest")}
+    assert forest == {frozenset((1, 2)), frozenset((0, 2))}
+    assert engine.ask("reach", s=0, t=1)
+
+
+def test_ties_break_by_endpoints():
+    engine = DynFOEngine(make_msf_program(), 6)
+    engine.insert("Ew", 1, 2, 3)
+    engine.insert("Ew", 0, 2, 3)
+    engine.insert("Ew", 0, 1, 3)  # closes a triangle of equal weights
+    forest = {tuple(sorted(e)) for e in engine.query("forest")}
+    # Kruskal under (weight, u, v): (0,1) then (0,2); (1,2) rejected
+    assert forest == {(0, 1), (0, 2)}
+
+
+def test_memoryless():
+    check_memoryless(
+        make_msf_program(),
+        6,
+        [Insert("Ew", (0, 1, 2)), Insert("Ew", (1, 2, 3)), Insert("Ew", (0, 2, 1))],
+        [Insert("Ew", (0, 2, 1)), Insert("Ew", (0, 1, 2)), Insert("Ew", (1, 2, 3))],
+    )

@@ -1,0 +1,77 @@
+"""Theorem 5.14: PAD(REACH_a) — a P-complete problem in Dyn-FO."""
+
+import random
+
+import pytest
+
+from repro.baselines import alternating_reaches, fixpoint_iterations
+from repro.dynfo import DynFOEngine
+from repro.programs import make_pad_reach_a_program
+from repro.workloads import PadAdversary
+
+
+def _fresh(n):
+    engine = DynFOEngine(make_pad_reach_a_program(), n)
+    adversary = PadAdversary(n)
+    # prime the pipeline on the empty graph
+    for _ in range(n):
+        engine.set_const("s", 0)
+    return engine, adversary
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_against_fixpoint(seed):
+    n = 6
+    engine, adversary = _fresh(n)
+    rng = random.Random(seed)
+    for _ in range(20):
+        for request in adversary.random_batch(rng):
+            engine.apply(request)
+        assert engine.ask("copies_equal")
+        got = engine.ask("pad_member")
+        want = alternating_reaches(
+            n, adversary.edges, adversary.universal, adversary.s, adversary.t
+        )
+        assert got == want
+
+
+def test_copies_unequal_mid_change():
+    n = 5
+    engine, adversary = _fresh(n)
+    batch = adversary.toggle_edge(0, 1)
+    engine.apply(batch[0])  # copy 0 only
+    assert not engine.ask("copies_equal")
+    assert not engine.ask("pad_member")  # PAD membership requires equality
+    for request in batch[1:]:
+        engine.apply(request)
+    assert engine.ask("copies_equal")
+
+
+def test_universal_vertex_needs_all_successors():
+    n = 5
+    engine, adversary = _fresh(n)
+    rng = random.Random(0)
+    for request in adversary.retarget("t", 3):
+        engine.apply(request)
+    for request in adversary.toggle_edge(0, 3):
+        engine.apply(request)
+    for request in adversary.toggle_edge(0, 4):
+        engine.apply(request)
+    assert engine.ask("pad_member")  # existential 0 reaches 3 via edge
+    for request in adversary.toggle_universal(0):
+        engine.apply(request)
+    # universal 0 must have ALL successors reach 3; 4 does not
+    assert not engine.ask("pad_member")
+    for request in adversary.toggle_edge(4, 3):
+        engine.apply(request)
+    assert engine.ask("pad_member")
+
+
+def test_fixpoint_converges_within_n():
+    """The staging argument needs the operator to converge in <= n-1 extra
+    iterations; spot-check the oracle's iteration count."""
+    rng = random.Random(7)
+    n = 8
+    edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(12)}
+    universal = {rng.randrange(n) for _ in range(3)}
+    assert fixpoint_iterations(n, edges, universal, target=0) <= n - 1

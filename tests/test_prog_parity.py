@@ -1,0 +1,48 @@
+"""Example 3.2: PARITY."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, Insert, check_memoryless, verify_program
+from repro.dynfo.oracles import parity_checker
+from repro.programs import make_parity_program
+from repro.workloads import bitflip_script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_against_oracle(seed):
+    verify_program(
+        make_parity_program(), 8, bitflip_script(8, 80, seed), [parity_checker()]
+    )
+
+
+def test_hand_case():
+    engine = DynFOEngine(make_parity_program(), 6)
+    assert not engine.ask("odd")
+    engine.insert("M", 3)
+    assert engine.ask("odd")
+    engine.insert("M", 3)  # duplicate insert is a no-op
+    assert engine.ask("odd")
+    engine.delete("M", 0)  # deleting an absent bit is a no-op
+    assert engine.ask("odd")
+    engine.delete("M", 3)
+    assert not engine.ask("odd")
+
+
+@pytest.mark.parametrize("backend", ["relational", "dense", "naive"])
+def test_backends_agree(backend):
+    engine = DynFOEngine(make_parity_program(), 6, backend=backend)
+    engine.run(bitflip_script(6, 30, seed=7))
+    reference = DynFOEngine(make_parity_program(), 6)
+    reference.run(bitflip_script(6, 30, seed=7))
+    assert engine.aux_snapshot() == reference.aux_snapshot()
+
+
+def test_memoryless():
+    """PARITY's auxiliary structure depends only on the current string."""
+    program = make_parity_program()
+    check_memoryless(
+        program,
+        5,
+        [Insert("M", (1,)), Insert("M", (2,))],
+        [Insert("M", (2,)), Insert("M", (1,)), Insert("M", (2,))],
+    )

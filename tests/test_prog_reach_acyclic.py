@@ -1,0 +1,51 @@
+"""Theorem 4.2: REACH restricted to acyclic histories."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, Insert, Delete, check_memoryless, verify_program
+from repro.dynfo.oracles import paths_checker
+from repro.programs import make_reach_acyclic_program
+from repro.workloads import dag_script
+
+
+@pytest.mark.parametrize("seed,n", [(0, 7), (1, 8), (2, 9)])
+def test_randomized_against_oracle(seed, n):
+    verify_program(
+        make_reach_acyclic_program(), n, dag_script(n, 120, seed), [paths_checker()]
+    )
+
+
+def test_delete_with_detour():
+    engine = DynFOEngine(make_reach_acyclic_program(), 6)
+    # diamond 0 -> {1, 2} -> 3
+    for (u, v) in [(0, 1), (1, 3), (0, 2), (2, 3)]:
+        engine.insert("E", u, v)
+    assert engine.ask("reach", s=0, t=3)
+    engine.delete("E", 1, 3)
+    assert engine.ask("reach", s=0, t=3)  # detour via 2 survives
+    engine.delete("E", 2, 3)
+    assert not engine.ask("reach", s=0, t=3)
+
+
+def test_trivial_reach_is_reflexive():
+    engine = DynFOEngine(make_reach_acyclic_program(), 4)
+    assert engine.ask("reach", s=2, t=2)
+
+
+def test_memoryless():
+    check_memoryless(
+        make_reach_acyclic_program(),
+        6,
+        [Insert("E", (0, 1)), Insert("E", (1, 2))],
+        [Insert("E", (1, 2)), Insert("E", (0, 1)), Insert("E", (0, 1))],
+    )
+
+
+@pytest.mark.parametrize("backend", ["relational", "dense"])
+def test_backends_agree(backend):
+    script = dag_script(6, 40, seed=4)
+    engine = DynFOEngine(make_reach_acyclic_program(), 6, backend=backend)
+    engine.run(script)
+    reference = DynFOEngine(make_reach_acyclic_program(), 6)
+    reference.run(script)
+    assert engine.aux_snapshot() == reference.aux_snapshot()

@@ -1,0 +1,59 @@
+"""Theorem 4.2 / Example 2.1 / Prop 5.3: REACH_d via transferred reduction."""
+
+import random
+
+import pytest
+
+from repro.baselines import deterministic_reachable
+from repro.dynfo import Delete, Insert, SetConst, apply_request
+from repro.logic import Structure
+from repro.programs import make_reach_d_engine
+from repro.workloads import reach_d_script
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_against_direct_search(seed):
+    n = 6
+    engine = make_reach_d_engine(n)
+    shadow = Structure.initial(engine.reduction.source, n)
+    for request in reach_d_script(n, 90, seed):
+        engine.apply(request)
+        apply_request(shadow, request)
+        got = engine.ask("reach")
+        want = deterministic_reachable(
+            n, set(shadow.relation_view("E")), shadow.constant("s"), shadow.constant("t")
+        )
+        assert got == want, (request, shadow.describe())
+
+
+def test_bounded_translation_per_request():
+    """Each source request must map to O(1) target requests (Prop 5.3)."""
+    n = 7
+    engine = make_reach_d_engine(n)
+    rng = random.Random(5)
+    for request in reach_d_script(n, 120, rng):
+        translated = engine.apply(request)
+        assert len(translated) <= engine.max_expansion
+    assert engine.max_delta_seen <= 6
+
+
+def test_branching_kills_determinism():
+    engine = make_reach_d_engine(6)
+    engine.set_const("s", 0)
+    engine.set_const("t", 2)
+    engine.insert("E", 0, 1)
+    engine.insert("E", 1, 2)
+    assert engine.ask("reach")
+    engine.insert("E", 1, 3)  # vertex 1 now branches: path no longer deterministic
+    assert not engine.ask("reach")
+    engine.delete("E", 1, 3)
+    assert engine.ask("reach")
+
+
+def test_edges_out_of_t_ignored():
+    engine = make_reach_d_engine(6)
+    engine.set_const("s", 0)
+    engine.set_const("t", 1)
+    engine.insert("E", 0, 1)
+    engine.insert("E", 1, 0)  # out-edge of t must not matter
+    assert engine.ask("reach")

@@ -1,0 +1,84 @@
+"""Theorem 4.1: REACH_u via spanning-forest maintenance."""
+
+import pytest
+
+from repro.dynfo import Delete, DynFOEngine, Insert, verify_program
+from repro.dynfo.oracles import connectivity_checker, spanning_forest_checker
+from repro.programs import make_reach_u_program
+from repro.workloads import undirected_script
+
+
+@pytest.mark.parametrize("seed,n", [(0, 6), (1, 7), (2, 8)])
+def test_randomized_against_oracle(seed, n):
+    verify_program(
+        make_reach_u_program(),
+        n,
+        undirected_script(n, 90, seed),
+        [connectivity_checker(), spanning_forest_checker()],
+    )
+
+
+def test_dense_insert_delete_churn():
+    """Heavier delete rate stresses the reconnection path."""
+    verify_program(
+        make_reach_u_program(),
+        6,
+        undirected_script(6, 120, seed=5, p_delete=0.6),
+        [connectivity_checker(), spanning_forest_checker()],
+    )
+
+
+def test_hand_case_bridge_deletion():
+    engine = DynFOEngine(make_reach_u_program(), 6)
+    # triangle 0-1-2 plus pendant 2-3
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+        engine.insert("E", u, v)
+    assert engine.ask("reach", s=0, t=3)
+    engine.delete("E", 2, 3)  # bridge: 3 disconnects
+    assert not engine.ask("reach", s=0, t=3)
+    engine.delete("E", 0, 1)  # cycle edge: connectivity survives
+    assert engine.ask("reach", s=0, t=1)
+
+
+def test_self_loop_is_harmless():
+    engine = DynFOEngine(make_reach_u_program(), 4)
+    engine.insert("E", 2, 2)
+    assert engine.query("forest") == set()
+    engine.insert("E", 1, 2)
+    assert engine.ask("reach", s=1, t=2)
+    engine.delete("E", 2, 2)
+    assert engine.ask("reach", s=1, t=2)
+
+
+def test_forest_invariant_pv_consistent():
+    """PV's endpoints-included convention: F(x,y) implies PV(x,y,x) and
+    PV(x,y,y) (the paper's stated invariant)."""
+    engine = DynFOEngine(make_reach_u_program(), 6)
+    engine.run(undirected_script(6, 50, seed=9))
+    pv = engine.query("pv")
+    for (x, y) in engine.query("forest"):
+        if x != y:
+            assert (x, y, x) in pv and (x, y, y) in pv
+
+
+@pytest.mark.parametrize("backend", ["relational", "dense", "naive"])
+def test_backends_agree(backend):
+    script = undirected_script(5, 25, seed=11)
+    engine = DynFOEngine(make_reach_u_program(), 5, backend=backend)
+    engine.run(script)
+    reference = DynFOEngine(make_reach_u_program(), 5)
+    reference.run(script)
+    assert engine.aux_snapshot() == reference.aux_snapshot()
+
+
+def test_request_order_independence_of_answers():
+    """The *answers* (not the forest) are history-independent: two
+    permutations of the same insert set agree on connectivity."""
+    inserts = [(0, 1), (1, 2), (3, 4), (2, 3)]
+    a = DynFOEngine(make_reach_u_program(), 6)
+    b = DynFOEngine(make_reach_u_program(), 6)
+    for (u, v) in inserts:
+        a.insert("E", u, v)
+    for (u, v) in reversed(inserts):
+        b.insert("E", u, v)
+    assert a.query("connected") == b.query("connected")

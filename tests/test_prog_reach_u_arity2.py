@@ -1,0 +1,79 @@
+"""[DS95] extension: arity-2 auxiliary REACH_u with FO rerooting."""
+
+import pytest
+
+from repro.baselines import transitive_closure
+from repro.dynfo import DynFOEngine, VerificationError, verify_program
+from repro.dynfo.oracles import connectivity_checker
+from repro.logic.structure import Structure
+from repro.programs.reach_u import make_reach_u_program
+from repro.programs.reach_u_arity2 import make_reach_u_arity2_program
+from repro.workloads import undirected_script
+
+
+def _invariant_checker(inputs: Structure, engine) -> None:
+    forest = engine.query("forest")
+    closure = engine.query("closure")
+    parents: dict[int, int] = {}
+    for (child, parent) in forest:
+        if child in parents:
+            raise VerificationError(f"vertex {child} has two parents")
+        parents[child] = parent
+    want = transitive_closure(inputs.n, forest)
+    if any((v, v) in want for v in range(inputs.n)):
+        raise VerificationError(f"cycle in FD: {sorted(forest)}")
+    if closure != want:
+        raise VerificationError("TC is not the closure of FD")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_with_invariants(seed):
+    verify_program(
+        make_reach_u_arity2_program(),
+        7,
+        undirected_script(7, 80, seed),
+        [connectivity_checker(), _invariant_checker],
+    )
+
+
+def test_heavy_deletion_churn():
+    verify_program(
+        make_reach_u_arity2_program(),
+        6,
+        undirected_script(6, 110, seed=9, p_delete=0.6),
+        [connectivity_checker(), _invariant_checker],
+    )
+
+
+def test_aux_arity_is_two_vs_three():
+    assert make_reach_u_arity2_program().aux_arity() == 2
+    assert make_reach_u_program().aux_arity() == 3
+
+
+def test_reroot_hand_case():
+    engine = DynFOEngine(make_reach_u_arity2_program(), 7)
+    # chain 0 <- 1 <- 2 (2's parent is 1, 1's parent is 0)
+    engine.insert("E", 1, 0)
+    engine.insert("E", 2, 1)
+    # joining 0's tree from the deep end forces a reroot
+    engine.insert("E", 0, 5)
+    assert engine.ask("reach", s=2, t=5)
+    assert engine.ask("reach", s=0, t=5)
+    closure = engine.query("closure")
+    # every non-root vertex still has the unique root as an ancestor
+    forest = engine.query("forest")
+    children = {child for (child, _) in forest}
+    roots = {v for v in range(7) if v not in children}
+    for child in children:
+        assert any((child, root) in closure for root in roots)
+
+
+def test_answers_agree_with_arity3_program():
+    """Both programs answer identical connectivity on the same script."""
+    script = undirected_script(6, 60, seed=4)
+    a2 = DynFOEngine(make_reach_u_arity2_program(), 6)
+    a3 = DynFOEngine(make_reach_u_program(), 6)
+    for request in script:
+        a2.apply(request)
+        a3.apply(request)
+    assert a2.query("connected") == a3.query("connected")

@@ -1,0 +1,75 @@
+"""Theorem 4.6: every regular language is in Dyn-FO."""
+
+import pytest
+
+from repro.baselines import DFA, alternating_dfa, mod_counter_dfa, substring_dfa
+from repro.dynfo import DynFOEngine, ReplayHarness, VerificationError
+from repro.logic.structure import Structure
+from repro.programs import make_regular_program
+from repro.programs.regular import symbol_relation
+from repro.workloads import word_edit_script
+
+
+def _dfa_checker(dfa):
+    def check(inputs: Structure, engine: DynFOEngine) -> None:
+        word: list = [None] * inputs.n
+        for symbol in dfa.alphabet:
+            for (p,) in inputs.relation_view(symbol_relation(symbol)):
+                word[p] = symbol
+        expected = dfa.run(word)
+        got = engine.ask("accepted")
+        if expected != got:
+            raise VerificationError(f"{word}: DFA says {expected}, got {got}")
+
+    return check
+
+
+DFAS = {
+    "mod3": mod_counter_dfa(3),
+    "ab_star": alternating_dfa(),
+    "contains_aba": substring_dfa(["a", "b", "a"], ["a", "b"]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DFAS))
+def test_randomized_against_dfa(name):
+    dfa = DFAS[name]
+    program = make_regular_program(dfa, name=name)
+    harness = ReplayHarness(program, 9, checkers=[_dfa_checker(dfa)])
+    harness.run(word_edit_script(dfa, 9, 90, seed=5))
+
+
+def test_interval_table_invariant():
+    """St(i, i, q, q') must equal the single-position transition."""
+    dfa = mod_counter_dfa(2)
+    engine = DynFOEngine(make_regular_program(dfa), 6)
+    engine.insert(symbol_relation("one"), 3)
+    table = engine.query("st")
+    assert (3, 3, 0, 1) in table and (3, 3, 1, 0) in table
+    assert (2, 2, 0, 0) in table  # empty position = identity
+
+
+def test_empty_word_accepted_iff_start_accepting():
+    accepting_start = mod_counter_dfa(3, residue=0)
+    engine = DynFOEngine(make_regular_program(accepting_start), 5)
+    assert engine.ask("accepted")
+    rejecting_start = mod_counter_dfa(3, residue=1)
+    engine = DynFOEngine(make_regular_program(rejecting_start), 5)
+    assert not engine.ask("accepted")
+
+
+def test_universe_must_fit_states():
+    dfa = substring_dfa(["a", "b", "a", "b", "a"], ["a", "b"])  # 6 states
+    with pytest.raises(ValueError):
+        DynFOEngine(make_regular_program(dfa), 4)
+
+
+def test_gaps_are_skipped():
+    """Symbols at scattered positions read left-to-right, epsilon elsewhere."""
+    dfa = alternating_dfa()
+    engine = DynFOEngine(make_regular_program(dfa), 10)
+    engine.insert(symbol_relation("a"), 1)
+    engine.insert(symbol_relation("b"), 7)
+    assert engine.ask("accepted")  # reads "ab"
+    engine.insert(symbol_relation("a"), 4)
+    assert not engine.ask("accepted")  # reads "aab"

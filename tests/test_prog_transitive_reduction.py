@@ -1,0 +1,54 @@
+"""Corollary 4.3: transitive reduction of DAGs (memoryless)."""
+
+import pytest
+
+from repro.dynfo import DynFOEngine, Insert, check_memoryless, verify_program
+from repro.dynfo.oracles import paths_checker, transitive_reduction_checker
+from repro.programs import make_transitive_reduction_program
+from repro.workloads import dag_script
+
+
+@pytest.mark.parametrize("seed,n", [(0, 6), (1, 7), (2, 8)])
+def test_randomized_against_oracle(seed, n):
+    verify_program(
+        make_transitive_reduction_program(),
+        n,
+        dag_script(n, 110, seed),
+        [paths_checker(), transitive_reduction_checker()],
+    )
+
+
+def test_redundant_edge_never_enters_tr():
+    engine = DynFOEngine(make_transitive_reduction_program(), 5)
+    engine.insert("E", 0, 1)
+    engine.insert("E", 1, 2)
+    assert engine.query("tr") == {(0, 1), (1, 2)}
+    engine.insert("E", 0, 2)  # redundant immediately
+    assert engine.query("tr") == {(0, 1), (1, 2)}
+
+
+def test_essential_edge_promoted_on_delete():
+    engine = DynFOEngine(make_transitive_reduction_program(), 5)
+    engine.insert("E", 0, 1)
+    engine.insert("E", 1, 2)
+    engine.insert("E", 0, 2)
+    engine.delete("E", 0, 1)  # now (0, 2) is the only 0 -> 2 route
+    assert engine.query("tr") == {(0, 2), (1, 2)}
+
+
+def test_insert_kills_now_redundant_edges():
+    engine = DynFOEngine(make_transitive_reduction_program(), 6)
+    engine.insert("E", 0, 3)
+    engine.insert("E", 0, 1)
+    assert (0, 3) in engine.query("tr")
+    engine.insert("E", 1, 3)  # 0 -> 1 -> 3 makes (0, 3) redundant
+    assert (0, 3) not in engine.query("tr")
+
+
+def test_memoryless():
+    check_memoryless(
+        make_transitive_reduction_program(),
+        6,
+        [Insert("E", (0, 1)), Insert("E", (1, 2)), Insert("E", (0, 2))],
+        [Insert("E", (0, 2)), Insert("E", (1, 2)), Insert("E", (0, 1))],
+    )

@@ -1,0 +1,219 @@
+"""Section 5: first-order reductions, bounded expansion, transfer, PAD,
+COLOR-REACH."""
+
+import pytest
+
+from repro.baselines import deterministic_reachable, same_component
+from repro.dynfo import Insert, SetConst
+from repro.logic import Structure, Vocabulary
+from repro.logic.dsl import Rel, eq
+from repro.reductions import (
+    ColorReachInstance,
+    ExpansionExceeded,
+    FirstOrderReduction,
+    TransferredEngine,
+    color_reach_reachable,
+    decode_element,
+    encode_tuple,
+    measure_expansion,
+    pad_structure,
+    reduction_d_to_u,
+    structure_delta,
+)
+from repro.programs import make_reach_u_program
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        assert decode_element(encode_tuple((2, 3), 5), 5, 2) == (2, 3)
+        assert encode_tuple((2, 3), 5) == 2 * 5 + 3
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_tuple((5,), 5)
+
+
+class TestFirstOrderReduction:
+    def test_d_to_u_semantics(self):
+        """I_{d-u} keeps exactly the unique out-edges not leaving t."""
+        reduction = reduction_d_to_u()
+        structure = Structure(reduction.source, 5)
+        structure.add("E", (0, 1))
+        structure.add("E", (1, 2))
+        structure.add("E", (1, 3))  # vertex 1 branches: both dropped
+        structure.set_constant("s", 0)
+        structure.set_constant("t", 2)
+        image = reduction.apply(structure)
+        assert image.relation("E") == {(0, 1), (1, 0)}
+
+    def test_edges_out_of_t_removed(self):
+        reduction = reduction_d_to_u()
+        structure = Structure(reduction.source, 4)
+        structure.add("E", (2, 0))
+        structure.set_constant("t", 2)
+        assert reduction.apply(structure).relation("E") == set()
+
+    def test_many_one_property_spot_check(self):
+        import random
+
+        reduction = reduction_d_to_u()
+        rng = random.Random(4)
+        structures = []
+        for _ in range(25):
+            structure = Structure(reduction.source, 5)
+            for _ in range(rng.randrange(8)):
+                structure.add("E", (rng.randrange(5), rng.randrange(5)))
+            structure.set_constant("s", rng.randrange(5))
+            structure.set_constant("t", rng.randrange(5))
+            structures.append(structure)
+
+        def source_member(structure):
+            return deterministic_reachable(
+                structure.n,
+                set(structure.relation_view("E")),
+                structure.constant("s"),
+                structure.constant("t"),
+            )
+
+        def target_member(structure):
+            sets = same_component(structure.n, structure.relation_view("E"))
+            return sets.connected(structure.constant("s"), structure.constant("t"))
+
+        assert reduction.is_many_one_for(source_member, target_member, structures)
+
+    def test_binary_reduction_squares_universe(self):
+        """A toy 2-ary reduction: target edge (x1 x2) -> (y1 y2) iff
+        E(x1, y1) — checks the k-ary encoding plumbing."""
+        source = Vocabulary.parse("E^2")
+        target = Vocabulary.parse("E^2")
+        E = Rel("E")
+        reduction = FirstOrderReduction(
+            name="toy2",
+            k=2,
+            source=source,
+            target=target,
+            formulas={"E": E("x1", "y1")},
+            frames={"E": ("x1", "x2", "y1", "y2")},
+        )
+        structure = Structure(source, 3, relations={"E": [(0, 1)]})
+        image = reduction.apply(structure)
+        assert image.n == 9
+        assert len(image.relation("E")) == 9  # 3 choices each for x2, y2
+        assert (encode_tuple((0, 0), 3), encode_tuple((1, 0), 3)) in image.relation("E")
+
+    def test_validation(self):
+        source = Vocabulary.parse("E^2")
+        target = Vocabulary.parse("E^2")
+        with pytest.raises(ValueError):
+            FirstOrderReduction(
+                name="bad",
+                k=1,
+                source=source,
+                target=target,
+                formulas={"E": eq("x", "y")},
+                frames={"E": ("x",)},  # wrong frame width
+            )
+
+
+class TestBoundedExpansion:
+    def test_d_to_u_is_bounded(self):
+        report = measure_expansion(reduction_d_to_u(), n=6, trials=150, seed=1)
+        assert report.is_bounded_by(6)
+        assert report.trials == 150
+
+    def test_structure_delta(self):
+        voc = Vocabulary.parse("E^2, s")
+        a = Structure(voc, 3, relations={"E": [(0, 1)]})
+        b = Structure(voc, 3, relations={"E": [(1, 2)]}, constants={"s": 2})
+        assert structure_delta(a, b) == 3
+
+    def test_unbounded_reduction_detected(self):
+        """E'(x, y) := exists z E(z, z) & x = x — one self-loop flips the
+        whole n^2 output; measurement must exceed any small constant."""
+        source = Vocabulary.parse("E^2")
+        target = Vocabulary.parse("E^2")
+        E = Rel("E")
+        from repro.logic.dsl import exists
+
+        reduction = FirstOrderReduction(
+            name="blowup",
+            k=1,
+            source=source,
+            target=target,
+            formulas={"E": exists("z", E("z", "z"))},
+            frames={"E": ("x", "y")},
+        )
+        report = measure_expansion(reduction, n=5, trials=80, seed=2)
+        assert not report.is_bounded_by(6)
+
+
+class TestTransfer:
+    def test_expansion_guard_trips(self):
+        source = Vocabulary.parse("E^2")
+        target = Vocabulary.parse("E^2")
+        E = Rel("E")
+        from repro.logic.dsl import exists
+
+        blowup = FirstOrderReduction(
+            name="blowup",
+            k=1,
+            source=source,
+            target=target,
+            formulas={"E": exists("z", E("z", "z"))},
+            frames={"E": ("x", "y")},
+        )
+        engine = TransferredEngine(
+            blowup, make_reach_u_program(), n=5, max_expansion=4
+        )
+        with pytest.raises(ExpansionExceeded):
+            engine.insert("E", 2, 2)
+
+    def test_constants_tracked_for_queries(self):
+        from repro.programs import make_reach_d_engine
+
+        engine = make_reach_d_engine(5)
+        engine.set_const("s", 1)
+        engine.set_const("t", 3)
+        engine.insert("E", 1, 3)
+        assert engine.ask("reach")
+        assert engine.target_constants == {"s": 1, "t": 3}
+
+
+class TestPad:
+    def test_pad_structure_copies(self):
+        voc = Vocabulary.parse("E^2, s")
+        structure = Structure(voc, 4, relations={"E": [(0, 1)]}, constants={"s": 2})
+        padded = pad_structure(structure)
+        assert padded.vocabulary.arity("E") == 3
+        assert padded.relation("E") == {(i, 0, 1) for i in range(4)}
+        assert padded.constant("s") == 2
+
+
+class TestColorReach:
+    def test_color_bit_rewires_class(self):
+        # vertices 0, 1 in class 1; zero-edges to 2, one-edges to 3
+        instance = ColorReachInstance(
+            n=4,
+            zero_edges={0: 2, 1: 2},
+            one_edges={0: 3, 1: 3},
+            vertex_class=[1, 1, 0, 0],
+            colors={1: False},
+        )
+        assert color_reach_reachable(instance, 0, 2)
+        assert not color_reach_reachable(instance, 0, 3)
+        instance.set_color(1, True)  # one bit flips both vertices' edges
+        assert color_reach_reachable(instance, 0, 3)
+        assert not color_reach_reachable(instance, 0, 2)
+
+    def test_class_zero_keeps_both_edges(self):
+        instance = ColorReachInstance(
+            n=3,
+            zero_edges={0: 1},
+            one_edges={0: 2},
+            vertex_class=[0, 0, 0],
+            colors={},
+        )
+        assert color_reach_reachable(instance, 0, 1)
+        assert color_reach_reachable(instance, 0, 2)
+        with pytest.raises(ValueError):
+            instance.set_color(0, True)

@@ -1,0 +1,108 @@
+"""Dyn_s (insert-only) restrictions, the bench harness, and the oracle
+checkers' failure reporting."""
+
+import pytest
+
+from repro.bench import Table, crossover, run_experiment, time_per_step
+from repro.dynfo import (
+    Delete,
+    DynFOEngine,
+    Insert,
+    UnsupportedRequest,
+    semidynamic,
+    verify_program,
+)
+from repro.dynfo.oracles import connectivity_checker, parity_checker
+from repro.dynfo.verify import VerificationError
+from repro.programs import make_parity_program, make_reach_u_program
+from repro.workloads import undirected_script
+
+
+class TestSemidynamic:
+    def test_deletes_refused(self):
+        program = semidynamic(make_reach_u_program())
+        engine = DynFOEngine(program, 6)
+        engine.insert("E", 0, 1)
+        with pytest.raises(UnsupportedRequest):
+            engine.delete("E", 0, 1)
+
+    def test_insert_only_behaviour_matches_full_program(self):
+        script = [
+            request
+            for request in undirected_script(6, 60, seed=2, p_delete=0.0)
+            if isinstance(request, Insert)
+        ]
+        semi = DynFOEngine(semidynamic(make_reach_u_program()), 6)
+        full = DynFOEngine(make_reach_u_program(), 6)
+        for request in script:
+            semi.apply(request)
+            full.apply(request)
+        assert semi.aux_snapshot() == full.aux_snapshot()
+
+    def test_verification_on_insert_only_workload(self):
+        program = semidynamic(make_reach_u_program())
+        script = undirected_script(6, 50, seed=3, p_delete=0.0)
+        verify_program(program, 6, script, [connectivity_checker()])
+
+    def test_name_and_notes_marked(self):
+        program = semidynamic(make_parity_program())
+        assert program.name == "parity_semidynamic"
+        assert "Dyn_s" in program.notes
+
+
+class TestBenchHarness:
+    def test_table_rendering(self):
+        table = Table("EX", "demo", ("a", "b"), notes="a note")
+        table.add(1, 2.5)
+        text = table.render()
+        assert "EX: demo" in text
+        assert "2.5" in text
+        assert "a note" in text
+
+    def test_table_row_width_checked(self):
+        table = Table("EX", "demo", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_time_per_step(self):
+        calls = []
+        avg = time_per_step(lambda: calls.append(1), repeats=5)
+        assert len(calls) == 5
+        assert avg >= 0
+
+    def test_crossover(self):
+        assert crossover([1, 2, 3], [9, 2, 1], [3, 3, 3]) == 2
+        assert crossover([1, 2], [9, 9], [1, 1]) is None
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    @pytest.mark.parametrize("name", ["E16", "E18"])
+    def test_cheap_experiments_produce_rows(self, name):
+        table = run_experiment(name, quick=True)
+        assert table.rows
+        assert len(table.columns) == len(table.rows[0])
+
+
+class TestOracleFailureReporting:
+    def test_parity_checker_message_names_query(self):
+        engine = DynFOEngine(make_parity_program(), 5)
+        engine.insert("M", 1)
+        from repro.logic import Structure
+
+        wrong_inputs = Structure(
+            make_parity_program().input_vocabulary, 5
+        )  # claims empty string
+        with pytest.raises(VerificationError, match="odd"):
+            parity_checker()(wrong_inputs, engine)
+
+    def test_connectivity_checker_lists_discrepancies(self):
+        program = make_reach_u_program()
+        engine = DynFOEngine(program, 5)
+        engine.insert("E", 0, 1)
+        from repro.logic import Structure
+
+        empty = Structure(program.input_vocabulary, 5)
+        with pytest.raises(VerificationError, match="extra"):
+            connectivity_checker()(empty, engine)

@@ -1,0 +1,111 @@
+"""Hypothesis stateful testing: drive whole Dyn-FO programs with random
+request sequences, checking the oracle invariant at every step.
+
+These complement the seeded-script tests: hypothesis explores and *shrinks*
+adversarial request interleavings.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    matching_is_maximal,
+    matching_is_valid,
+    reachable_pairs_undirected,
+    spanning_forest_is_valid,
+)
+from repro.dynfo import DynFOEngine
+from repro.programs import (
+    make_matching_program,
+    make_parity_program,
+    make_reach_u_program,
+)
+
+N = 5
+VERTS = st.integers(0, N - 1)
+
+
+class ParityMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = DynFOEngine(make_parity_program(), N)
+        self.ones: set[int] = set()
+
+    @rule(position=VERTS)
+    def set_bit(self, position):
+        self.engine.insert("M", position)
+        self.ones.add(position)
+
+    @rule(position=VERTS)
+    def clear_bit(self, position):
+        self.engine.delete("M", position)
+        self.ones.discard(position)
+
+    @invariant()
+    def parity_matches(self):
+        assert self.engine.ask("odd") == (len(self.ones) % 2 == 1)
+
+
+class ReachMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = DynFOEngine(make_reach_u_program(), N)
+        self.edges: set[tuple[int, int]] = set()
+
+    @rule(u=VERTS, v=VERTS)
+    def add_edge(self, u, v):
+        self.engine.insert("E", u, v)
+        self.edges.add((u, v))
+        self.edges.add((v, u))
+
+    @rule(u=VERTS, v=VERTS)
+    def remove_edge(self, u, v):
+        self.engine.delete("E", u, v)
+        self.edges.discard((u, v))
+        self.edges.discard((v, u))
+
+    @invariant()
+    def connectivity_matches(self):
+        expected = reachable_pairs_undirected(N, self.edges)
+        assert self.engine.query("connected") == expected
+
+    @invariant()
+    def forest_is_valid(self):
+        forest = self.engine.query("forest")
+        assert spanning_forest_is_valid(N, set(self.edges), forest)
+
+
+class MatchingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = DynFOEngine(make_matching_program(), N)
+        self.edges: set[tuple[int, int]] = set()
+
+    @rule(u=VERTS, v=VERTS)
+    def add_edge(self, u, v):
+        self.engine.insert("E", u, v)
+        self.edges.add((u, v))
+        self.edges.add((v, u))
+
+    @rule(u=VERTS, v=VERTS)
+    def remove_edge(self, u, v):
+        self.engine.delete("E", u, v)
+        self.edges.discard((u, v))
+        self.edges.discard((v, u))
+
+    @invariant()
+    def matching_is_maximal_and_valid(self):
+        matching = self.engine.query("matching")
+        assert matching_is_valid(self.edges, matching)
+        assert matching_is_maximal(self.edges, matching)
+
+
+_settings = settings(max_examples=25, stateful_step_count=12, deadline=None)
+
+TestParityMachine = ParityMachine.TestCase
+TestParityMachine.settings = _settings
+TestReachMachine = ReachMachine.TestCase
+TestReachMachine.settings = _settings
+TestMatchingMachine = MatchingMachine.TestCase
+TestMatchingMachine.settings = _settings

@@ -1,0 +1,121 @@
+"""Unit tests for finite structures (database instances)."""
+
+import pytest
+
+from repro.logic import Structure, StructureError, Vocabulary
+
+
+@pytest.fixture
+def voc():
+    return Vocabulary.parse("E^2, U^1, s")
+
+
+class TestBasics:
+    def test_initial_is_empty(self, voc):
+        structure = Structure.initial(voc, 5)
+        assert structure.cardinality("E") == 0
+        assert structure.constant("s") == 0
+
+    def test_nonpositive_universe_rejected(self, voc):
+        with pytest.raises(StructureError):
+            Structure(voc, 0)
+
+    def test_add_and_holds(self, voc):
+        structure = Structure(voc, 4)
+        structure.add("E", (1, 2))
+        assert structure.holds("E", (1, 2))
+        assert not structure.holds("E", (2, 1))
+
+    def test_discard_is_idempotent(self, voc):
+        structure = Structure(voc, 4)
+        structure.add("E", (1, 2))
+        structure.discard("E", (1, 2))
+        structure.discard("E", (1, 2))
+        assert structure.cardinality("E") == 0
+
+    def test_out_of_universe_rejected(self, voc):
+        structure = Structure(voc, 4)
+        with pytest.raises(StructureError):
+            structure.add("E", (1, 4))
+        with pytest.raises(StructureError):
+            structure.add("E", (-1, 0))
+
+    def test_wrong_arity_rejected(self, voc):
+        structure = Structure(voc, 4)
+        with pytest.raises(StructureError):
+            structure.add("E", (1,))
+
+    def test_bool_elements_rejected(self, voc):
+        structure = Structure(voc, 4)
+        with pytest.raises(StructureError):
+            structure.add("U", (True,))
+
+    def test_unknown_relation(self, voc):
+        structure = Structure(voc, 4)
+        with pytest.raises(StructureError):
+            structure.relation("X")
+        with pytest.raises(StructureError):
+            structure.constant("q")
+
+    def test_set_relation_replaces(self, voc):
+        structure = Structure(voc, 4)
+        structure.add("E", (0, 1))
+        structure.set_relation("E", {(2, 3), (3, 2)})
+        assert structure.relation("E") == {(2, 3), (3, 2)}
+
+    def test_set_constant(self, voc):
+        structure = Structure(voc, 4)
+        structure.set_constant("s", 3)
+        assert structure.constant("s") == 3
+        with pytest.raises(StructureError):
+            structure.set_constant("s", 4)
+
+
+class TestWholeStructure:
+    def test_copy_is_independent(self, voc):
+        structure = Structure(voc, 4)
+        structure.add("E", (0, 1))
+        clone = structure.copy()
+        clone.add("E", (1, 2))
+        assert structure.cardinality("E") == 1
+        assert clone.cardinality("E") == 2
+
+    def test_equality(self, voc):
+        a = Structure(voc, 4, relations={"E": [(0, 1)]}, constants={"s": 2})
+        b = Structure(voc, 4, relations={"E": [(0, 1)]}, constants={"s": 2})
+        assert a == b
+        b.add("U", (0,))
+        assert a != b
+
+    def test_structures_are_unhashable_but_freeze_hashes(self, voc):
+        structure = Structure(voc, 4, relations={"E": [(0, 1)]})
+        with pytest.raises(TypeError):
+            hash(structure)
+        frozen = structure.freeze()
+        assert hash(frozen) == hash(structure.freeze())
+        assert frozen.thaw() == structure
+
+    def test_restrict(self, voc):
+        structure = Structure(voc, 4, relations={"E": [(0, 1)], "U": [(2,)]})
+        reduct = structure.restrict(Vocabulary.parse("E^2"))
+        assert reduct.relation("E") == {(0, 1)}
+        assert not reduct.vocabulary.has_relation("U")
+
+    def test_expand(self, voc):
+        structure = Structure(voc, 4, relations={"E": [(0, 1)]})
+        bigger = structure.expand(
+            voc.extend(relations=[("F", 2)]), relations={"F": [(1, 1)]}
+        )
+        assert bigger.relation("E") == {(0, 1)}
+        assert bigger.relation("F") == {(1, 1)}
+
+    def test_describe_mentions_everything(self, voc):
+        structure = Structure(voc, 3, relations={"E": [(0, 1)]}, constants={"s": 2})
+        text = structure.describe()
+        assert "E = {(0, 1)}" in text
+        assert "s = 2" in text
+        assert "universe = {0..2}" in text
+
+    def test_repr_summarizes(self, voc):
+        structure = Structure(voc, 3, relations={"E": [(0, 1)]})
+        assert "E:1" in repr(structure)

@@ -1,0 +1,100 @@
+"""Unit tests for the formula AST and combinator DSL."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Atom,
+    BOT,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Lit,
+    Not,
+    Or,
+    TOP,
+    Var,
+)
+from repro.logic.dsl import Rel, c, either_order, eq, eq2, exists, forall, lit, neq
+from repro.logic.syntax import as_term
+
+
+class TestTerms:
+    def test_as_term_coercions(self):
+        assert as_term("x") == Var("x")
+        assert as_term(3) == Lit(3)
+        assert as_term(Var("y")) == Var("y")
+
+    def test_bool_is_not_a_term(self):
+        with pytest.raises(TypeError):
+            as_term(True)
+
+    def test_atom_coerces_args(self):
+        atom = Atom("E", ("x", 2))
+        assert atom.args == (Var("x"), Lit(2))
+
+
+class TestConnectives:
+    def test_operator_sugar(self):
+        E = Rel("E")
+        formula = ~E("x", "y") & E("y", "x") | eq("x", "y")
+        assert isinstance(formula, Or)
+
+    def test_implies_and_iff(self):
+        p, q = eq("x", "y"), eq("y", "x")
+        assert isinstance(p >> q, Implies)
+        assert isinstance(p.iff(q), Iff)
+
+    def test_and_of_flattens_and_prunes(self):
+        p, q, r = eq("x", 1), eq("y", 2), eq("z", 3)
+        assert And.of(p, And.of(q, r)) == And((p, q, r))
+        assert And.of(p, TOP) == p
+        assert And.of(p, BOT) == BOT
+        assert And.of() == TOP
+
+    def test_or_of_flattens_and_prunes(self):
+        p, q = eq("x", 1), eq("y", 2)
+        assert Or.of(p, Or.of(q, p)) == Or((p, q, p))
+        assert Or.of(p, BOT) == p
+        assert Or.of(p, TOP) == TOP
+        assert Or.of() == BOT
+
+
+class TestQuantifiers:
+    def test_vars_from_string(self):
+        formula = exists("u v", eq("u", "v"))
+        assert isinstance(formula, Exists)
+        assert formula.vars == ("u", "v")
+
+    def test_empty_quantifier_rejected(self):
+        with pytest.raises(ValueError):
+            Exists((), TOP)
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Forall("x x", TOP)
+
+
+class TestHelpers:
+    def test_eq2_matches_paper_abbreviation(self):
+        formula = eq2("x", "y", c("a"), c("b"))
+        assert isinstance(formula, Or)
+        assert len(formula.parts) == 2
+
+    def test_neq(self):
+        assert neq("x", "y") == Not(Eq("x", "y"))
+
+    def test_either_order(self):
+        E = Rel("E")
+        formula = either_order(E, "x", "y")
+        assert formula == E("x", "y") | E("y", "x")
+
+    def test_lit(self):
+        assert lit(4) == Lit(4)
+
+    def test_formulas_are_hashable(self):
+        E = Rel("E")
+        formula = exists("z", E("x", "z") & E("z", "y"))
+        assert formula in {formula}

@@ -1,0 +1,184 @@
+"""Syntactic transformations: free variables, substitution, normal forms,
+metrics, and the second-order substitutions behind composition/transfer."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Lit,
+    Not,
+    Or,
+    Structure,
+    TOP,
+    Var,
+    Vocabulary,
+    connective_depth,
+    constants_of,
+    format_formula,
+    free_vars,
+    formula_size,
+    holds,
+    quantifier_rank,
+    relations_of,
+    simplify,
+    standardize_apart,
+    substitute,
+    to_nnf,
+)
+from repro.logic.dsl import Rel, eq, exists, forall
+from repro.logic.transform import substitute_constants, substitute_relations
+
+E = Rel("E")
+P = Rel("P")
+
+
+class TestFreeVars:
+    def test_atom(self):
+        assert free_vars(E("x", "y")) == {"x", "y"}
+
+    def test_quantifier_binds(self):
+        assert free_vars(exists("x", E("x", "y"))) == {"y"}
+
+    def test_constants_are_not_free(self):
+        assert free_vars(Eq(Const("a"), Lit(3))) == set()
+
+    def test_relations_and_constants_of(self):
+        formula = E("x", "y") & Eq("x", Const("a")) & P("y")
+        assert relations_of(formula) == {"E", "P"}
+        assert constants_of(formula) == {"a"}
+
+
+class TestSubstitute:
+    def test_simple(self):
+        formula = substitute(E("x", "y"), {"x": Lit(2)})
+        assert formula == E(2, "y")
+
+    def test_bound_variables_untouched(self):
+        formula = exists("x", E("x", "y"))
+        assert substitute(formula, {"x": Lit(2)}) == formula
+
+    def test_capture_avoided(self):
+        # substituting y := x under exists x must rename the binder
+        formula = exists("x", E("x", "y"))
+        out = substitute(formula, {"y": Var("x")})
+        assert isinstance(out, Exists)
+        assert out.vars[0] != "x"
+        # semantics check: out says "exists q. E(q, x)"
+        voc = Vocabulary.parse("E^2")
+        structure = Structure(voc, 3, relations={"E": [(1, 2)]})
+        assert holds(out, structure, {"x": 2})
+        assert not holds(out, structure, {"x": 1})
+
+
+class TestStandardizeApart:
+    def test_distinct_binders(self):
+        formula = exists("x", E("x", "y")) & exists("x", P("x"))
+        out = standardize_apart(formula)
+        binders = []
+
+        def collect(node):
+            if isinstance(node, (Exists, Forall)):
+                binders.extend(node.vars)
+                collect(node.body)
+            elif isinstance(node, (And, Or)):
+                for part in node.parts:
+                    collect(part)
+            elif isinstance(node, Not):
+                collect(node.body)
+
+        collect(out)
+        assert len(binders) == len(set(binders))
+        assert free_vars(out) == {"y"}
+
+    def test_avoid_extra_names(self):
+        formula = exists("x", P("x"))
+        out = standardize_apart(formula, avoid=("q0",))
+        assert out.vars[0] not in ("x", "q0") or out.vars[0] != "q0"
+
+
+class TestNormalForms:
+    def test_nnf_pushes_negation(self):
+        formula = to_nnf(~(E("x", "y") & ~P("x")))
+        assert isinstance(formula, Or)
+
+    def test_nnf_dualizes_quantifiers(self):
+        formula = to_nnf(~forall("x", P("x")))
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, Not)
+
+    def test_nnf_expands_implies(self):
+        formula = to_nnf(E("x", "y") >> P("x"))
+        assert isinstance(formula, Or)
+
+    def test_simplify_units(self):
+        assert simplify(TOP & P("x")) == P("x")
+        assert simplify(~~P("x")) == P("x")
+        assert simplify(Eq("x", "x")) == TOP
+        assert simplify(Implies(TOP, P("x"))) == P("x")
+        assert simplify(Iff(P("x"), P("x"))) == TOP
+
+    def test_simplify_vacuous_quantifier(self):
+        assert simplify(exists("z", P("x"))) == P("x")
+
+    def test_simplify_literal_comparison(self):
+        assert simplify(Eq(Lit(1), Lit(2))) == simplify(~TOP)
+
+
+class TestMetrics:
+    def test_quantifier_rank_counts_block_width(self):
+        formula = exists("u v", forall("w", E("u", "w")))
+        assert quantifier_rank(formula) == 3
+
+    def test_connective_depth(self):
+        formula = ~(P("x") & P("y"))
+        assert connective_depth(formula) == 2
+
+    def test_formula_size(self):
+        assert formula_size(P("x") & P("y")) == 3
+
+
+class TestSecondOrderSubstitution:
+    def test_substitute_constants(self):
+        formula = Eq("x", Const("a")) & E(Const("a"), Const("b"))
+        out = substitute_constants(formula, {"a": Var("w")})
+        assert free_vars(out) == {"x", "w"}
+        assert constants_of(out) == {"b"}
+
+    def test_substitute_constants_capture_detected(self):
+        formula = exists("w", Eq("w", Const("a")))
+        with pytest.raises(ValueError):
+            substitute_constants(formula, {"a": Var("w")})
+
+    def test_substitute_relations_inlines_definition(self):
+        # P(x, y) := exists z. E(x, z) & E(z, y); inline into P(u, v)
+        definition = exists("z", E("x", "z") & E("z", "y"))
+        out = substitute_relations(
+            P("u", "v"), {"P": (("x", "y"), definition)}
+        )
+        assert relations_of(out) == {"E"}
+        assert free_vars(out) == {"u", "v"}
+        voc = Vocabulary.parse("E^2")
+        structure = Structure(voc, 4, relations={"E": [(0, 1), (1, 2)]})
+        assert holds(out, structure, {"u": 0, "v": 2})
+        assert not holds(out, structure, {"u": 0, "v": 3})
+
+    def test_substitute_relations_avoids_capture(self):
+        # definition binds z; the atom argument is also z
+        definition = exists("z", E("x", "z"))
+        out = substitute_relations(P("z"), {"P": (("x",), definition)})
+        assert free_vars(out) == {"z"}
+        voc = Vocabulary.parse("E^2")
+        structure = Structure(voc, 3, relations={"E": [(1, 0)]})
+        assert holds(out, structure, {"z": 1})
+        assert not holds(out, structure, {"z": 0})
+
+    def test_substitute_relations_arity_checked(self):
+        with pytest.raises(ValueError):
+            substitute_relations(P("x", "y"), {"P": (("x",), TOP)})

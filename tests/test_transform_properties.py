@@ -1,0 +1,52 @@
+"""Property tests: every syntactic transformation preserves semantics."""
+
+from hypothesis import given, settings
+
+from repro.logic import (
+    naive_query,
+    simplify,
+    standardize_apart,
+    to_nnf,
+)
+from repro.logic.transform import free_vars
+
+from .formula_gen import formulas, structures
+
+
+def _rows(formula, structure):
+    frame = tuple(sorted(free_vars(formula)))
+    return frame, naive_query(formula, structure, frame)
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas(), structures())
+def test_nnf_preserves_semantics(formula, structure):
+    frame, expected = _rows(formula, structure)
+    transformed = to_nnf(formula)
+    assert free_vars(transformed) <= free_vars(formula)
+    assert naive_query(transformed, structure, frame) == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas(), structures())
+def test_simplify_preserves_semantics(formula, structure):
+    frame, expected = _rows(formula, structure)
+    transformed = simplify(formula)
+    assert naive_query(transformed, structure, frame) == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(formulas(), structures())
+def test_standardize_apart_preserves_semantics(formula, structure):
+    frame, expected = _rows(formula, structure)
+    transformed = standardize_apart(formula)
+    assert free_vars(transformed) == free_vars(formula)
+    assert naive_query(transformed, structure, frame) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(formulas(), structures())
+def test_nnf_then_simplify_composes(formula, structure):
+    frame, expected = _rows(formula, structure)
+    transformed = simplify(to_nnf(formula))
+    assert naive_query(transformed, structure, frame) == expected

@@ -1,0 +1,92 @@
+"""Executes the EDGE-PARITY program exactly as docs/TUTORIAL.md builds it,
+so the tutorial cannot drift from the API."""
+
+from repro.dynfo import (
+    DynFOEngine,
+    DynFOProgram,
+    Query,
+    RelationDef,
+    UpdateRule,
+    verify_program,
+)
+from repro.dynfo.verify import exact_boolean_checker
+from repro.logic import Structure, Vocabulary
+from repro.logic.dsl import Rel, c, eq2, neq
+from repro.workloads import undirected_script
+
+INPUT = Vocabulary.parse("E^2")
+AUX = Vocabulary.parse("E^2, odd^0")
+
+E, odd = Rel("E"), Rel("odd")
+a, b = c("a"), c("b")
+
+present = E(a, b)
+flip = (odd() & present) | (~odd() & ~present)
+flop = (odd() & ~present) | (~odd() & present)
+
+e_ins = E("x", "y") | eq2("x", "y", a, b)
+odd_ins = (neq(a, b) & flip) | (~neq(a, b) & odd())
+e_del = E("x", "y") & ~eq2("x", "y", a, b)
+odd_del = (neq(a, b) & flop) | (~neq(a, b) & odd())
+
+
+def make_edge_parity_program() -> DynFOProgram:
+    return DynFOProgram(
+        name="edge_parity",
+        input_vocabulary=INPUT,
+        aux_vocabulary=AUX,
+        initial=lambda n: Structure.initial(AUX, n),
+        on_insert={
+            "E": UpdateRule(
+                params=("a", "b"),
+                definitions=(
+                    RelationDef("E", ("x", "y"), e_ins),
+                    RelationDef("odd", (), odd_ins),
+                ),
+            )
+        },
+        on_delete={
+            "E": UpdateRule(
+                params=("a", "b"),
+                definitions=(
+                    RelationDef("E", ("x", "y"), e_del),
+                    RelationDef("odd", (), odd_del),
+                ),
+            )
+        },
+        queries={"odd_edges": Query("odd_edges", odd())},
+        symmetric_inputs=frozenset({"E"}),
+    )
+
+
+def test_tutorial_session():
+    engine = DynFOEngine(make_edge_parity_program(), n=8)
+    engine.insert("E", 1, 2)
+    assert engine.ask("odd_edges")
+    engine.insert("E", 1, 2)  # duplicate: graph unchanged
+    assert engine.ask("odd_edges")
+    engine.insert("E", 3, 4)
+    assert not engine.ask("odd_edges")
+    engine.delete("E", 1, 2)
+    assert engine.ask("odd_edges")
+
+
+def test_tutorial_verification():
+    checker = exact_boolean_checker(
+        "odd_edges",
+        lambda inputs: (len(inputs.relation_view("E")) // 2) % 2 == 1,
+    )
+    verify_program(
+        make_edge_parity_program(),
+        8,
+        undirected_script(8, 120, seed=0),
+        [checker],
+    )
+
+
+def test_self_loop_requests_ignored_by_the_bit():
+    engine = DynFOEngine(make_edge_parity_program(), n=6)
+    engine.insert("E", 2, 2)
+    assert not engine.ask("odd_edges")
+    engine.delete("E", 2, 2)
+    assert not engine.ask("odd_edges")

@@ -1,0 +1,93 @@
+"""Unit tests for vocabularies (signatures)."""
+
+import pytest
+
+from repro.logic import Vocabulary, VocabularyError
+from repro.logic.vocabulary import ConstantSymbol, RelationSymbol
+
+
+class TestSymbols:
+    def test_relation_symbol_str(self):
+        assert str(RelationSymbol("E", 2)) == "E^2"
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("E", -1)
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("BIT", 2)
+        with pytest.raises(VocabularyError):
+            ConstantSymbol("min")
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(VocabularyError):
+            RelationSymbol("", 1)
+        with pytest.raises(VocabularyError):
+            RelationSymbol("2fast", 1)
+        with pytest.raises(VocabularyError):
+            ConstantSymbol("has space")
+
+
+class TestVocabulary:
+    def test_parse(self):
+        voc = Vocabulary.parse("E^2, F^2, PV^3, s, t")
+        assert voc.relation_names() == ("E", "F", "PV")
+        assert voc.constant_names() == ("s", "t")
+        assert voc.arity("PV") == 3
+
+    def test_parse_empty_tokens_skipped(self):
+        voc = Vocabulary.parse("E^2,, s,")
+        assert voc.relation_names() == ("E",)
+        assert voc.constant_names() == ("s",)
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.parse("E^2, E^1")
+
+    def test_relation_constant_clash_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.make(relations=[("s", 1)], constants=["s"])
+
+    def test_contains(self):
+        voc = Vocabulary.parse("E^2, s")
+        assert "E" in voc
+        assert "s" in voc
+        assert "F" not in voc
+        assert 7 not in voc
+
+    def test_unknown_arity_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.parse("E^2").arity("F")
+
+    def test_extend(self):
+        voc = Vocabulary.parse("E^2").extend(relations=[("F", 2)], constants=["s"])
+        assert voc.relation_names() == ("E", "F")
+        assert voc.constant_names() == ("s",)
+
+    def test_extend_duplicate_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.parse("E^2").extend(relations=[("E", 2)])
+
+    def test_union_merges(self):
+        a = Vocabulary.parse("E^2, s")
+        b = Vocabulary.parse("E^2, F^1, t")
+        merged = a.union(b)
+        assert merged.relation_names() == ("E", "F")
+        assert merged.constant_names() == ("s", "t")
+
+    def test_union_arity_clash(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.parse("E^2").union(Vocabulary.parse("E^3"))
+
+    def test_rename(self):
+        voc = Vocabulary.parse("E^2, s").rename({"E": "Edge", "s": "src"})
+        assert voc.relation_names() == ("Edge",)
+        assert voc.constant_names() == ("src",)
+
+    def test_str(self):
+        assert str(Vocabulary.parse("E^2, s")) == "<E^2, s>"
+
+    def test_iteration_order_is_declaration_order(self):
+        voc = Vocabulary.parse("B^1, A^2")
+        assert [r.name for r in voc] == ["B", "A"]

@@ -1,0 +1,104 @@
+"""Workload generators: determinism and contract preservation."""
+
+import pytest
+
+from repro.baselines import forest_parents, is_acyclic
+from repro.dynfo import Insert, Request, evaluate_script
+from repro.logic import Vocabulary
+from repro.workloads import (
+    bitflip_script,
+    bounded_degree_script,
+    dag_script,
+    dyck_edit_script,
+    forest_script,
+    number_bit_script,
+    undirected_script,
+    weighted_script,
+    word_edit_script,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: undirected_script(8, 50, seed=3),
+            lambda: dag_script(8, 50, seed=3),
+            lambda: forest_script(8, 50, seed=3),
+            lambda: weighted_script(8, 50, seed=3),
+            lambda: bitflip_script(8, 50, seed=3),
+            lambda: number_bit_script(8, 50, seed=3),
+        ],
+    )
+    def test_same_seed_same_script(self, maker):
+        assert maker() == maker()
+
+
+class TestContracts:
+    def test_dag_script_every_prefix_acyclic(self):
+        voc = Vocabulary.parse("E^2")
+        script = dag_script(8, 80, seed=1)
+        for cut in range(0, len(script) + 1, 8):
+            structure = evaluate_script(voc, 8, script[:cut])
+            assert is_acyclic(8, structure.relation_view("E"))
+
+    def test_forest_script_every_prefix_is_forest(self):
+        voc = Vocabulary.parse("E^2")
+        script = forest_script(8, 60, seed=2)
+        for cut in range(0, len(script) + 1, 6):
+            structure = evaluate_script(voc, 8, script[:cut])
+            forest_parents(8, set(structure.relation_view("E")))  # raises if not
+
+    def test_weighted_script_unique_weights(self):
+        voc = Vocabulary.parse("Ew^3")
+        script = weighted_script(8, 80, seed=4)
+        for cut in range(0, len(script) + 1, 10):
+            structure = evaluate_script(voc, 8, script[:cut])
+            seen = {}
+            for (u, v, w) in structure.relation_view("Ew"):
+                key = (min(u, v), max(u, v))
+                assert seen.setdefault(key, w) == w
+
+    def test_bounded_degree_script(self):
+        voc = Vocabulary.parse("E^2")
+        script = bounded_degree_script(8, 60, max_degree=2, seed=5)
+        structure = evaluate_script(voc, 8, script, symmetric={"E"})
+        degree = [0] * 8
+        for (u, v) in structure.relation_view("E"):
+            if u < v:
+                degree[u] += 1
+                degree[v] += 1
+        assert max(degree) <= 2
+
+    def test_word_edit_script_one_symbol_per_position(self):
+        from repro.baselines import alternating_dfa
+        from repro.programs.regular import input_vocabulary
+
+        dfa = alternating_dfa()
+        script = word_edit_script(dfa, 8, 70, seed=6)
+        structure = evaluate_script(input_vocabulary(dfa), 8, script)
+        occupancy = [0] * 8
+        for rel in structure.vocabulary:
+            for (p,) in structure.relation_view(rel.name):
+                occupancy[p] += 1
+        assert max(occupancy) <= 1
+
+    def test_dyck_script_token_budget(self):
+        from repro.programs.dyck import left_relation, right_relation
+
+        voc = Vocabulary.make(
+            relations=[(left_relation(1), 1), (right_relation(1), 1),
+                       (left_relation(2), 1), (right_relation(2), 1)]
+        )
+        script = dyck_edit_script(2, 8, 100, seed=7)
+        structure = evaluate_script(voc, 8, script)
+        total = sum(structure.cardinality(r.name) for r in voc)
+        assert total < 8
+
+    def test_number_bit_script_positions_bounded(self):
+        for request in number_bit_script(12, 60, seed=8):
+            assert request.tup[0] < 6
+
+    def test_scripts_are_requests(self):
+        for request in undirected_script(6, 10, seed=0):
+            assert isinstance(request, Request)
