@@ -10,7 +10,7 @@ symmetrized on entry.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from .unionfind import DisjointSets
 

@@ -28,14 +28,11 @@ from typing import Callable, Mapping, Sequence
 from ..baselines import (
     alternating_reaches,
     bits_to_int,
-    connected_components,
     deterministic_reachable,
     forest_lca,
     is_bipartite,
     is_k_edge_connected,
     kruskal_msf,
-    matching_is_maximal,
-    matching_is_valid,
     mod_counter_dfa,
     reachable_pairs_undirected,
     transitive_closure,
@@ -44,7 +41,6 @@ from ..baselines import (
 from ..dynfo import DynFOEngine, Request, apply_request
 from ..dynfo.program import DynFOProgram
 from ..logic.structure import Structure
-from ..logic.transform import connective_depth, formula_size, quantifier_rank
 from ..programs import (
     KEdgeAnalyzer,
     make_bipartite_program,

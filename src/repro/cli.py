@@ -8,8 +8,10 @@ Subcommands
 ``bench E2 [E5 ...] [--full]``
     Run experiments from DESIGN.md Sec. 4 and print their tables
     (``all`` runs the whole suite).
-``verify reach_u [--n 8] [--steps 120] [--seed 0]``
-    Replay a randomized workload against the from-scratch oracle.
+``verify reach_u [--n 8] [--steps 120] [--seed 0] [--audit-every N] [--journal PATH]``
+    Replay a randomized workload against the from-scratch oracle,
+    optionally self-auditing the auxiliary structure and/or journaling
+    every request to a crash-safe write-ahead log.
 ``demo``
     A tiny REACH_u session showing the update formulas at work.
 """
@@ -34,6 +36,7 @@ from .dynfo.oracles import (
     spanning_forest_checker,
     transitive_reduction_checker,
 )
+from .dynfo.journal import RequestJournal
 from .dynfo.verify import exact_relation_checker, verify_program
 from .programs import PROGRAM_FACTORIES
 from .workloads import (
@@ -126,12 +129,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     script_maker, checkers = _VERIFIABLE[name]
     program = PROGRAM_FACTORIES[name]()
     script = script_maker(args.n, args.steps, seed=args.seed)
+    journal = RequestJournal(args.journal) if args.journal else None
     start = time.perf_counter()
-    verify_program(program, args.n, script, checkers)
+    try:
+        verify_program(
+            program,
+            args.n,
+            script,
+            checkers,
+            audit_every=args.audit_every,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     elapsed = time.perf_counter() - start
+    extras = []
+    if args.audit_every:
+        extras.append(f"integrity-audited every {args.audit_every} requests")
+    if args.journal:
+        extras.append(f"journaled to {args.journal}")
     print(
         f"{name}: {len(script)} requests on n={args.n} verified against the "
         f"from-scratch oracle after every request ({elapsed:.1f}s)"
+        + ("".join(f"; {extra}" for extra in extras))
     )
     return 0
 
@@ -185,6 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--n", type=int, default=7, help="universe size")
     verify.add_argument("--steps", type=int, default=80, help="request count")
     verify.add_argument("--seed", type=int, default=0, help="workload seed")
+    verify.add_argument(
+        "--audit-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cross-check the auxiliary structure against a from-scratch "
+        "replay every N requests (0 = off)",
+    )
+    verify.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append every accepted request to a crash-safe write-ahead "
+        "journal at PATH",
+    )
     verify.set_defaults(fn=_cmd_verify)
 
     sub.add_parser("demo", help="print REACH_u's formulas, run a session").set_defaults(

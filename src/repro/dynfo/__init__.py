@@ -8,6 +8,16 @@ verification harness used throughout the tests.
 
 from .compose import compose_rule
 from .engine import BACKENDS, DynFOEngine, UnsupportedRequest
+from .errors import (
+    EngineError,
+    IntegrityError,
+    JournalError,
+    RequestValidationError,
+    UpdateError,
+)
+from .faults import FaultPlan, FaultyBackend, InjectedFault
+from .journal import RequestJournal, read_journal, recover
+from .minimize import minimize_script
 from .semidynamic import semidynamic
 from .persistence import (
     PersistenceError,
@@ -32,6 +42,8 @@ from .requests import (
     SetConst,
     apply_request,
     evaluate_script,
+    request_from_item,
+    request_to_item,
     script_from_json,
     script_to_json,
 )
@@ -49,6 +61,18 @@ __all__ = [
     "DynFOEngine",
     "BACKENDS",
     "UnsupportedRequest",
+    "EngineError",
+    "RequestValidationError",
+    "UpdateError",
+    "IntegrityError",
+    "JournalError",
+    "FaultPlan",
+    "FaultyBackend",
+    "InjectedFault",
+    "RequestJournal",
+    "read_journal",
+    "recover",
+    "minimize_script",
     "DynFOProgram",
     "ProgramError",
     "compose_rule",
@@ -71,6 +95,8 @@ __all__ = [
     "evaluate_script",
     "script_to_json",
     "script_from_json",
+    "request_to_item",
+    "request_from_item",
     "OracleChecker",
     "ReplayHarness",
     "VerificationError",

@@ -31,7 +31,6 @@ def compose_rule(
     """
     if levels < 0:
         raise ValueError("levels must be >= 0")
-    from ..logic.syntax import Atom
 
     current: dict[str, tuple[tuple[str, ...], Formula]] = {}
     for level in range(1, levels + 1):

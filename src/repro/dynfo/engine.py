@@ -11,25 +11,52 @@ Three evaluation backends are available (see DESIGN.md E15):
   typical sparse cases);
 * ``"dense"`` — vectorized boolean tensors, a literal CRAM[1] simulation;
 * ``"naive"`` — brute-force reference semantics (small n only).
+
+A backend may also be any callable ``factory(structure, params) ->
+evaluator`` (e.g. :class:`~.faults.FaultyBackend` for chaos testing).
+
+``apply`` is *transactional*: the request is validated up front
+(:class:`~.errors.RequestValidationError`), every primed relation, mirror
+edit, and constant write is staged against the pre-update structure, and
+only a fully validated batch is committed.  Any failure mid-update —
+a buggy formula, a misbehaving backend, an out-of-universe row — raises
+:class:`~.errors.UpdateError` and leaves the auxiliary structure provably
+untouched, so the request can simply be retried.
+
+With ``audit_every=N`` the engine additionally cross-checks its auxiliary
+structure against a from-scratch replay every N requests and raises
+:class:`~.errors.IntegrityError` (carrying a ddmin-minimized repro script)
+on divergence.  With ``journal=RequestJournal(...)`` every accepted request
+is fsync'd to a write-ahead log before commit (see :mod:`.journal`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from ..logic.dense import DenseEvaluator
 from ..logic.evaluation import naive_query
 from ..logic.relational import RelationalEvaluator
-from ..logic.structure import Structure
-from ..logic.syntax import Const, Formula, Lit, Term
+from ..logic.structure import BatchUpdate, Structure, StructureError
+from ..logic.syntax import Formula, Lit, Term
 from ..logic.transform import substitute
+from .errors import (
+    EngineError,
+    IntegrityError,
+    RequestValidationError,
+    UpdateError,
+)
+from .minimize import minimize_script
 from .program import DynFOProgram, Query, UpdateRule
-from .requests import Delete, Insert, Operation, Request, SetConst, apply_request
+from .requests import Delete, Insert, Operation, Request, SetConst
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .journal import RequestJournal
 
 __all__ = ["DynFOEngine", "BACKENDS", "UnsupportedRequest"]
 
 
-class UnsupportedRequest(ValueError):
+class UnsupportedRequest(RequestValidationError):
     """Raised when a program has no rule for the given request kind."""
 
 
@@ -61,20 +88,36 @@ class DynFOEngine:
         self,
         program: DynFOProgram,
         n: int,
-        backend: str = "relational",
+        backend: str | Callable[..., object] = "relational",
+        audit_every: int = 0,
+        journal: "RequestJournal | None" = None,
     ) -> None:
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; pick from {sorted(BACKENDS)}")
+        if isinstance(backend, str):
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; pick from {sorted(BACKENDS)}"
+                )
+            self.backend_name = backend
+            self._backend_factory = BACKENDS[backend]
+        else:
+            self.backend_name = getattr(
+                backend, "name", getattr(backend, "__name__", type(backend).__name__)
+            )
+            self._backend_factory = backend
         self.program = program
         self.n = n
-        self.backend_name = backend
-        self._backend_cls = BACKENDS[backend]
         self.structure = program.initial(n)
         if self.structure.vocabulary != program.aux_vocabulary:
             raise ValueError("initial structure has the wrong vocabulary")
         if self.structure.n != n:
             raise ValueError("initial structure has the wrong universe size")
         self.requests_applied = 0
+        self.audit_every = audit_every
+        self._journal = journal
+        # audits replay the request log from this baseline (the initial
+        # structure, or the snapshot an engine was restored from)
+        self._audit_base = self.structure.copy()
+        self._audit_log: list[Request] = []
         # work accounting for the last request: how many auxiliary tuples
         # the simultaneous FO step produced (the "parallel work" measure
         # used by experiment E19's history-independence check)
@@ -96,64 +139,133 @@ class DynFOEngine:
         self.apply(SetConst(name, value))
 
     def apply(self, request: Request) -> None:
-        """Apply one request: evaluate all primed relations against the
-        current structure, then swap them in simultaneously.
+        """Apply one request transactionally.
 
-        The rule's temporaries (the paper's scratch relations such as T and
-        New) are evaluated first, in order, into a scratch expansion of the
-        pre-update structure that the primed definitions then read."""
+        Pipeline: validate the request, evaluate all primed relations
+        against the current structure (the rule's temporaries — the paper's
+        scratch relations such as T and New — first, in order, into a
+        scratch expansion the primed definitions then read), stage every
+        write, journal the request, then commit the batch in one
+        infallible step.  On any failure before commit the auxiliary
+        structure is untouched."""
         rule, params, mirror = self._dispatch(request)
+        batch, stats = self._stage(request, rule, params, mirror)
+        if self._journal is not None:
+            self._journal.append(self.requests_applied, request)
+        batch.commit()
+        self.last_update_stats = stats
+        self.requests_applied += 1
+        if self.audit_every > 0:
+            self._audit_log.append(request)
+            if self.requests_applied % self.audit_every == 0:
+                self.audit()
+
+    def _stage(
+        self,
+        request: Request,
+        rule: UpdateRule,
+        params: Mapping[str, int],
+        mirror: tuple[str, str, tuple[int, ...]] | None,
+    ) -> tuple[BatchUpdate, dict[str, int]]:
+        """Evaluate the rule and stage every write; never mutates
+        ``self.structure``."""
         source = self.structure
         temporary_tuples = 0
-        if rule.temporaries:
-            scratch_vocab = self.program.aux_vocabulary.extend(
-                relations=[(d.name, len(d.frame)) for d in rule.temporaries]
-            )
-            source = self.structure.expand(scratch_vocab)
-            scratch_eval = self._backend_cls(source, params)
-            for temp in rule.temporaries:
-                rows = scratch_eval.rows(temp.formula, temp.frame)
-                temporary_tuples += len(rows)
-                source.set_relation(temp.name, rows)
-        evaluator = self._backend_cls(source, params)
-        new_relations = {
-            definition.name: evaluator.rows(definition.formula, definition.frame)
-            for definition in rule.definitions
-        }
-        self.last_update_stats = {
+        try:
+            if rule.temporaries:
+                scratch_vocab = self.program.aux_vocabulary.extend(
+                    relations=[(d.name, len(d.frame)) for d in rule.temporaries]
+                )
+                source = self.structure.expand(scratch_vocab)
+                scratch_eval = self._backend_factory(source, params)
+                for temp in rule.temporaries:
+                    rows = scratch_eval.rows(temp.formula, temp.frame)
+                    temporary_tuples += len(rows)
+                    source.set_relation(temp.name, rows)
+            evaluator = self._backend_factory(source, params)
+            new_relations = {
+                definition.name: evaluator.rows(definition.formula, definition.frame)
+                for definition in rule.definitions
+            }
+        except EngineError:
+            raise
+        except Exception as error:
+            raise UpdateError(
+                f"evaluating the update for {request} failed: {error}"
+            ) from error
+        batch = self.structure.begin_batch()
+        defined = rule.defined_names()
+        try:
+            for name, rows in new_relations.items():
+                batch.set_relation(name, rows)
+            if mirror is not None and mirror[1] not in defined:
+                # default maintenance of the input relation's auxiliary copy
+                kind, rel, tup = mirror
+                if self.program.aux_vocabulary.has_relation(rel):
+                    if kind == "ins":
+                        batch.add(rel, tup)
+                    else:
+                        batch.discard(rel, tup)
+            if isinstance(request, SetConst) and self.program.aux_vocabulary.has_constant(
+                request.name
+            ):
+                batch.set_constant(request.name, request.value)
+            if isinstance(request, Operation):
+                # default maintenance of input copies the rule leaves implicit
+                for basic in request.expansion:
+                    if (
+                        isinstance(basic, (Insert, Delete))
+                        and basic.rel not in defined
+                        and self.program.aux_vocabulary.has_relation(basic.rel)
+                    ):
+                        self._stage_basic(batch, basic)
+        except StructureError as error:
+            raise UpdateError(
+                f"staging the update for {request} was rejected: {error}"
+            ) from error
+        stats = {
             "relations_redefined": len(new_relations),
             "tuples_written": sum(len(rows) for rows in new_relations.values()),
             "temporary_tuples": temporary_tuples,
         }
-        defined = rule.defined_names()
-        for name, rows in new_relations.items():
-            self.structure.set_relation(name, rows)
-        if mirror is not None and mirror[1] not in defined:
-            # default maintenance of the input relation's auxiliary copy
-            kind, rel, tup = mirror
-            if self.program.aux_vocabulary.has_relation(rel):
-                if kind == "ins":
-                    self.structure.add(rel, tup)
-                else:
-                    self.structure.discard(rel, tup)
-        if isinstance(request, SetConst) and self.program.aux_vocabulary.has_constant(
-            request.name
-        ):
-            self.structure.set_constant(request.name, request.value)
-        if isinstance(request, Operation):
-            # default maintenance of input copies the rule leaves implicit
-            for basic in request.expansion:
-                if (
-                    isinstance(basic, (Insert, Delete))
-                    and basic.rel not in defined
-                    and self.program.aux_vocabulary.has_relation(basic.rel)
-                ):
-                    apply_request(
-                        self.structure, basic, self.program.symmetric_inputs
-                    )
-        self.requests_applied += 1
+        return batch, stats
+
+    def _stage_basic(self, batch: BatchUpdate, basic: Insert | Delete) -> None:
+        """Stage one basic input edit, honouring the program's undirected
+        convention (both orientations for symmetric relations)."""
+        edit = batch.add if isinstance(basic, Insert) else batch.discard
+        edit(basic.rel, basic.tup)
+        if basic.rel in self.program.symmetric_inputs and len(basic.tup) >= 2:
+            tup = basic.tup
+            edit(basic.rel, (tup[1], tup[0]) + tup[2:])
+
+    # -- request validation ------------------------------------------------------
+
+    def _check_element(self, value: int, what: str) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise RequestValidationError(
+                f"{what} must be an int, got {value!r}"
+            )
+        if not 0 <= value < self.n:
+            raise RequestValidationError(
+                f"{what} is {value}, outside the universe {{0..{self.n - 1}}}"
+            )
+
+    def _check_tuple(self, request: Request, rel: str, tup: tuple[int, ...], rule: UpdateRule) -> None:
+        if len(tup) != len(rule.params):
+            raise RequestValidationError(
+                f"{request} carries {len(tup)} components but the rule for "
+                f"{rel!r} expects {len(rule.params)} ({', '.join(rule.params)})"
+            )
+        for i, value in enumerate(tup):
+            self._check_element(value, f"component {i} of {request}")
 
     def _dispatch(self, request: Request):
+        """Find the request's rule and validate the request against it.
+
+        Raises :class:`UnsupportedRequest` when the program has no rule and
+        :class:`RequestValidationError` on arity/universe violations — both
+        before anything is evaluated or written."""
         program = self.program
         if isinstance(request, Insert):
             rule = program.on_insert.get(request.rel)
@@ -161,6 +273,7 @@ class DynFOEngine:
                 raise UnsupportedRequest(
                     f"{program.name} has no insert rule for {request.rel!r}"
                 )
+            self._check_tuple(request, request.rel, request.tup, rule)
             params = dict(zip(rule.params, request.tup))
             return rule, params, ("ins", request.rel, request.tup)
         if isinstance(request, Delete):
@@ -169,6 +282,7 @@ class DynFOEngine:
                 raise UnsupportedRequest(
                     f"{program.name} has no delete rule for {request.rel!r}"
                 )
+            self._check_tuple(request, request.rel, request.tup, rule)
             params = dict(zip(rule.params, request.tup))
             return rule, params, ("del", request.rel, request.tup)
         if isinstance(request, SetConst):
@@ -177,6 +291,7 @@ class DynFOEngine:
                 raise UnsupportedRequest(
                     f"{program.name} has no set rule for {request.name!r}"
                 )
+            self._check_element(request.value, f"value of {request}")
             return rule, {rule.params[0]: request.value}, None
         if isinstance(request, Operation):
             rule = program.on_operation.get(request.name)
@@ -189,13 +304,101 @@ class DynFOEngine:
                     f"operation {request.name!r} takes {len(rule.params)} "
                     f"arguments, got {len(request.args)}"
                 )
+            for i, value in enumerate(request.args):
+                self._check_element(value, f"argument {i} of {request}")
             return rule, dict(zip(rule.params, request.args)), None
-        raise TypeError(f"unknown request {request!r}")
+        raise RequestValidationError(f"unknown request {request!r}")
 
     def run(self, script) -> None:
         """Apply a whole request script."""
         for request in script:
             self.apply(request)
+
+    # -- journaling --------------------------------------------------------------
+
+    def attach_journal(self, journal: "RequestJournal | None") -> None:
+        """Attach (or, with ``None``, detach) a write-ahead request journal.
+        Subsequent accepted requests are appended before commit."""
+        self._journal = journal
+
+    @property
+    def journal(self) -> "RequestJournal | None":
+        return self._journal
+
+    # -- integrity auditing ------------------------------------------------------
+
+    def _pristine_factory(self) -> Callable[..., object]:
+        """The configured backend with any fault wrapper stripped."""
+        return getattr(self._backend_factory, "base", self._backend_factory)
+
+    def _subject_factory(self) -> Callable[..., object]:
+        """A deterministic fresh copy of the configured backend (fault
+        counters reset), for replaying the engine's own behaviour."""
+        fresh = getattr(self._backend_factory, "fresh", None)
+        return fresh() if callable(fresh) else self._backend_factory
+
+    def _replay(self, script, factory) -> "DynFOEngine":
+        clone = DynFOEngine(self.program, self.n, backend=factory)
+        clone.structure = self._audit_base.copy()
+        for request in script:
+            clone.apply(request)
+        return clone
+
+    def _divergence_detail(self, other: Structure) -> str:
+        parts = []
+        for rel in self.program.aux_vocabulary:
+            mine = self.structure.relation_view(rel.name)
+            theirs = other.relation_view(rel.name)
+            if mine != theirs:
+                extra = sorted(mine - theirs)[:4]
+                missing = sorted(theirs - mine)[:4]
+                parts.append(f"{rel.name}: extra={extra} missing={missing}")
+        for name, value in self.structure.constants().items():
+            if other.constant(name) != value:
+                parts.append(f"{name}: {value} != {other.constant(name)}")
+        return "; ".join(parts)
+
+    def audit(self) -> None:
+        """Cross-check the auxiliary structure against a from-scratch replay
+        of the request log (run automatically every ``audit_every``
+        requests).  On divergence, raise :class:`IntegrityError` carrying a
+        ddmin-minimized repro script no longer than the audited log."""
+        if self.audit_every <= 0:
+            raise EngineError(
+                "auditing requires audit_every > 0 (the engine only records "
+                "its request log when auditing is enabled)"
+            )
+        script = tuple(self._audit_log)
+        reference = self._replay(script, self._pristine_factory())
+        if reference.structure == self.structure:
+            return
+        detail = self._divergence_detail(reference.structure)
+
+        def diverges(candidate) -> bool:
+            try:
+                subject = self._replay(candidate, self._subject_factory())
+                pristine = self._replay(candidate, self._pristine_factory())
+            except EngineError:
+                # a subscript on which the faulty backend aborts the update
+                # still witnesses the divergence
+                return True
+            return subject.structure != pristine.structure
+
+        repro = minimize_script(script, diverges) if diverges(script) else script
+        raise IntegrityError(
+            f"{self.program.name}: auxiliary structure diverged from its "
+            f"from-scratch replay after {self.requests_applied} requests "
+            f"({detail}); minimized repro has {len(repro)} of "
+            f"{len(script)} requests",
+            repro=repro,
+            detail=detail,
+        )
+
+    def reset_audit_baseline(self) -> None:
+        """Restart audit bookkeeping from the current structure (used after
+        restoring from a snapshot, whose history is not replayable)."""
+        self._audit_base = self.structure.copy()
+        self._audit_log.clear()
 
     # -- queries ----------------------------------------------------------------
 
@@ -212,7 +415,7 @@ class DynFOEngine:
         """Evaluate a named query, returning its relation over its frame."""
         query = self._get_query(name)
         bound = {p: params[p] for p in query.params}
-        evaluator = self._backend_cls(self.structure, bound)
+        evaluator = self._backend_factory(self.structure, bound)
         return evaluator.rows(query.formula, query.frame)
 
     def ask(self, name: str, **params: int) -> bool:
@@ -221,7 +424,7 @@ class DynFOEngine:
         if query.frame:
             raise ValueError(f"query {name!r} returns a relation; use query()")
         bound = {p: params[p] for p in query.params}
-        evaluator = self._backend_cls(self.structure, bound)
+        evaluator = self._backend_factory(self.structure, bound)
         return evaluator.truth(query.formula)
 
     def holds_in(self, name: str, *tup: int) -> bool:
@@ -235,7 +438,7 @@ class DynFOEngine:
             var: Lit(value) for var, value in zip(query.frame, tup)
         }
         ground = substitute(query.formula, mapping)
-        evaluator = self._backend_cls(self.structure, {})
+        evaluator = self._backend_factory(self.structure, {})
         return evaluator.truth(ground)
 
     # -- introspection -----------------------------------------------------------

@@ -1,0 +1,76 @@
+"""The engine's typed error taxonomy.
+
+A Dyn-FO run's entire state is its auxiliary structure (Definition 3.1), so
+a half-applied update silently poisons every future query.  The hardened
+engine therefore classifies failures precisely:
+
+* :class:`RequestValidationError` — the request itself is malformed (wrong
+  arity, out-of-universe element, unknown symbol); rejected before any
+  evaluation happens.
+* :class:`UpdateError` — the request was well-formed but applying it failed
+  (a buggy update formula, a misbehaving backend, an out-of-universe row);
+  the transactional apply guarantees the auxiliary structure is untouched.
+* :class:`IntegrityError` — an audit found the live auxiliary structure
+  diverging from a from-scratch replay; carries a delta-debugging-minimized
+  repro script.
+* :class:`JournalError` — the write-ahead request journal is unreadable or
+  inconsistent with the engine state it is replayed onto.
+
+All of them subclass :class:`EngineError` (a :class:`ValueError`), so
+callers may catch the whole taxonomy with one clause.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .requests import Request
+
+__all__ = [
+    "EngineError",
+    "RequestValidationError",
+    "UpdateError",
+    "IntegrityError",
+    "JournalError",
+]
+
+
+class EngineError(ValueError):
+    """Base class for all Dyn-FO engine failures."""
+
+
+class RequestValidationError(EngineError):
+    """A request was rejected before evaluation (bad arity, bad element,
+    unknown symbol).  The auxiliary structure is untouched."""
+
+
+class UpdateError(EngineError):
+    """Evaluating or staging an update failed mid-flight.  The transactional
+    apply rolled everything back: the auxiliary structure is untouched and
+    the request may be retried."""
+
+
+class IntegrityError(EngineError):
+    """The auxiliary structure diverged from its from-scratch oracle replay.
+
+    ``repro`` is a (delta-debugging-minimized, never longer than the audited
+    script) request script that reproduces the divergence when replayed
+    through the engine's configured backend versus a pristine one.
+    ``detail`` names the diverging relations/constants.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        repro: Sequence["Request"] = (),
+        detail: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.repro: tuple["Request", ...] = tuple(repro)
+        self.detail = detail
+
+
+class JournalError(EngineError):
+    """The request journal is corrupt mid-file or inconsistent with the
+    engine it is being replayed onto."""

@@ -1,0 +1,77 @@
+"""Delta debugging (Zeller's ddmin) over request scripts.
+
+When an audit finds the auxiliary structure diverging from its from-scratch
+replay, handing the operator the whole request history is useless at
+production scale.  :func:`minimize_script` shrinks a failing script to a
+small subsequence that still exhibits the failure, so the
+:class:`~.errors.IntegrityError` can carry an actionable repro.
+
+The minimizer is generic: ``predicate(script)`` must return ``True`` when
+the (sub)script still fails.  The result is *1-minimal up to the chunk
+granularity explored* and never longer than the input; when the predicate
+does not even hold on the full script, the input is returned unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["minimize_script"]
+
+T = TypeVar("T")
+
+
+def minimize_script(
+    script: Sequence[T],
+    predicate: Callable[[tuple[T, ...]], bool],
+    max_tests: int = 2000,
+) -> tuple[T, ...]:
+    """Shrink ``script`` to a small subsequence on which ``predicate`` still
+    holds (classic ddmin).  ``max_tests`` bounds predicate invocations so a
+    pathological oracle cannot stall the audit path."""
+    current = tuple(script)
+    if not current or not predicate(current):
+        return current
+    tests = 0
+    granularity = 2
+    while len(current) >= 2:
+        chunk, remainder = divmod(len(current), granularity)
+        starts = []
+        offset = 0
+        for i in range(granularity):
+            size = chunk + (1 if i < remainder else 0)
+            starts.append((offset, offset + size))
+            offset += size
+        reduced = False
+        # reduce to complement: drop one chunk at a time
+        for lo, hi in starts:
+            candidate = current[:lo] + current[hi:]
+            if not candidate:
+                continue
+            tests += 1
+            if tests > max_tests:
+                return current
+            if predicate(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        # reduce to subset: keep one chunk alone
+        if not reduced:
+            for lo, hi in starts:
+                candidate = current[lo:hi]
+                if len(candidate) >= len(current):
+                    continue
+                tests += 1
+                if tests > max_tests:
+                    return current
+                if predicate(candidate):
+                    current = candidate
+                    granularity = 2
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current

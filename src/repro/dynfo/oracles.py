@@ -9,9 +9,7 @@ the benchmark harness so both verify the same contracts.
 from __future__ import annotations
 
 from ..baselines import (
-    alternating_reaches,
     bits_to_int,
-    deterministic_reachable,
     forest_lca,
     is_bipartite,
     kruskal_msf,

@@ -7,11 +7,22 @@ serialization — the database-systems reading the paper starts from.
 ``save_engine`` / ``load_engine`` snapshot a running engine; the loader
 re-validates that the stored vocabulary matches the program, so a snapshot
 cannot be replayed against the wrong program.
+
+Snapshots are crash-safe and self-verifying: ``save_engine`` writes to a
+temporary file in the target directory, fsyncs, and ``os.replace``s it into
+place (a crash mid-save leaves the previous snapshot intact), and the v2
+format carries a SHA-256 checksum of the structure payload that the loader
+verifies (a torn or bit-rotted snapshot raises :class:`PersistenceError`
+instead of silently resurrecting a corrupt auxiliary database).  v1
+snapshots (no checksum) are still loadable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Mapping
 
@@ -28,7 +39,8 @@ __all__ = [
     "PersistenceError",
 ]
 
-_FORMAT = "repro.dynfo/1"
+_FORMAT_V1 = "repro.dynfo/1"
+_FORMAT = "repro.dynfo/2"
 
 
 class PersistenceError(ValueError):
@@ -73,17 +85,46 @@ def structure_from_dict(data: Mapping) -> Structure:
         raise PersistenceError(f"malformed structure snapshot: {error}") from error
 
 
+def _structure_checksum(structure_dict: Mapping) -> str:
+    """Deterministic SHA-256 over the canonical structure payload."""
+    canonical = json.dumps(structure_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via temp-file + ``os.replace`` so a crash
+    mid-write can never leave a half-written file at ``path``."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_engine(engine: DynFOEngine, path: str | Path) -> None:
-    """Snapshot ``engine`` (program identity + auxiliary database) to JSON."""
+    """Snapshot ``engine`` (program identity + auxiliary database) to JSON,
+    atomically and with a payload checksum."""
+    structure_dict = structure_to_dict(engine.structure)
     payload = {
         "format": _FORMAT,
         "program": engine.program.name,
         "n": engine.n,
         "backend": engine.backend_name,
         "requests_applied": engine.requests_applied,
-        "structure": structure_to_dict(engine.structure),
+        "checksum": _structure_checksum(structure_dict),
+        "structure": structure_dict,
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    _atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
 def load_engine(
@@ -93,18 +134,27 @@ def load_engine(
 
     The snapshot must have been produced by the same-named program with the
     same auxiliary vocabulary; requests applied afterwards continue exactly
-    where the saved run left off.
+    where the saved run left off.  v2 snapshots are checksum-verified.
     """
     try:
         payload = json.loads(Path(path).read_text())
     except json.JSONDecodeError as error:
         raise PersistenceError(f"not a snapshot: {error}") from error
-    if payload.get("format") != _FORMAT:
-        raise PersistenceError(f"unknown snapshot format {payload.get('format')!r}")
+    fmt = payload.get("format")
+    if fmt not in (_FORMAT, _FORMAT_V1):
+        raise PersistenceError(f"unknown snapshot format {fmt!r}")
     if payload["program"] != program.name:
         raise PersistenceError(
             f"snapshot is for program {payload['program']!r}, not {program.name!r}"
         )
+    if fmt == _FORMAT:
+        stored = payload.get("checksum")
+        actual = _structure_checksum(payload["structure"])
+        if stored != actual:
+            raise PersistenceError(
+                f"snapshot checksum mismatch: stored {stored!r}, payload "
+                f"hashes to {actual!r} — the snapshot is corrupt"
+            )
     structure = structure_from_dict(payload["structure"])
     if structure.vocabulary != program.aux_vocabulary:
         raise PersistenceError(
@@ -116,4 +166,5 @@ def load_engine(
     )
     engine.structure = structure
     engine.requests_applied = payload["requests_applied"]
+    engine.reset_audit_baseline()
     return engine

@@ -25,6 +25,8 @@ __all__ = [
     "evaluate_script",
     "script_to_json",
     "script_from_json",
+    "request_to_item",
+    "request_from_item",
 ]
 
 
@@ -162,7 +164,8 @@ def evaluate_script(
 # -- serialization -------------------------------------------------------
 
 
-def _request_to_item(request: Request) -> dict:
+def request_to_item(request: Request) -> dict:
+    """One request as a JSON-serializable dict (the journal's line format)."""
     if isinstance(request, Insert):
         return {"op": "ins", "rel": request.rel, "tup": list(request.tup)}
     if isinstance(request, Delete):
@@ -174,33 +177,57 @@ def _request_to_item(request: Request) -> dict:
             "op": "operation",
             "name": request.name,
             "args": list(request.args),
-            "expansion": [_request_to_item(r) for r in request.expansion],
+            "expansion": [request_to_item(r) for r in request.expansion],
         }
     raise TypeError(f"unknown request {request!r}")  # pragma: no cover
 
 
-def _request_from_item(item: dict) -> Request:
-    op = item["op"]
-    if op == "ins":
-        return Insert(item["rel"], tuple(item["tup"]))
-    if op == "del":
-        return Delete(item["rel"], tuple(item["tup"]))
-    if op == "set":
-        return SetConst(item["name"], item["value"])
-    if op == "operation":
-        return Operation(
-            item["name"],
-            tuple(item["args"]),
-            tuple(_request_from_item(sub) for sub in item["expansion"]),
+def request_from_item(item: dict) -> Request:
+    """Inverse of :func:`request_to_item`; raises :class:`ValueError` with a
+    description of what is malformed rather than a bare ``KeyError``."""
+    if not isinstance(item, dict):
+        raise ValueError(
+            f"request item must be an object, got {type(item).__name__}"
         )
+    if "op" not in item:
+        raise ValueError(f"request item missing 'op': {item!r}")
+    op = item["op"]
+    try:
+        if op == "ins":
+            return Insert(item["rel"], tuple(item["tup"]))
+        if op == "del":
+            return Delete(item["rel"], tuple(item["tup"]))
+        if op == "set":
+            return SetConst(item["name"], item["value"])
+        if op == "operation":
+            return Operation(
+                item["name"],
+                tuple(item["args"]),
+                tuple(request_from_item(sub) for sub in item["expansion"]),
+            )
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed {op!r} request item {item!r}: {error}") from error
     raise ValueError(f"unknown request op {op!r}")
+
+
+# backwards-compatible private aliases
+_request_to_item = request_to_item
+_request_from_item = request_from_item
 
 
 def script_to_json(script: Sequence[Request]) -> str:
     """Serialize a request script to a JSON string."""
-    return json.dumps([_request_to_item(request) for request in script])
+    return json.dumps([request_to_item(request) for request in script])
 
 
 def script_from_json(text: str) -> list[Request]:
     """Inverse of :func:`script_to_json`."""
-    return [_request_from_item(item) for item in json.loads(text)]
+    try:
+        items = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not a request script: {error}") from error
+    if not isinstance(items, list):
+        raise ValueError(
+            f"a request script is a JSON array, got {type(items).__name__}"
+        )
+    return [request_from_item(item) for item in items]

@@ -17,12 +17,16 @@ Two checker styles are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, Sequence
 
 from ..logic.structure import Structure
 from .engine import DynFOEngine
+from .minimize import minimize_script
 from .program import DynFOProgram
 from .requests import Request, apply_request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .journal import RequestJournal
 
 __all__ = [
     "OracleChecker",
@@ -30,6 +34,7 @@ __all__ = [
     "ReplayHarness",
     "verify_program",
     "check_memoryless",
+    "minimize_script",
 ]
 
 
@@ -53,12 +58,20 @@ class ReplayHarness:
     backend: str = "relational"
     checkers: Sequence[OracleChecker] = ()
     check_every: int = 1
+    audit_every: int = 0
+    journal: "RequestJournal | None" = None
     engine: DynFOEngine = field(init=False)
     inputs: Structure = field(init=False)
     steps: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
-        self.engine = DynFOEngine(self.program, self.n, backend=self.backend)
+        self.engine = DynFOEngine(
+            self.program,
+            self.n,
+            backend=self.backend,
+            audit_every=self.audit_every,
+            journal=self.journal,
+        )
         self.inputs = Structure.initial(self.program.input_vocabulary, self.n)
 
     def step(self, request: Request) -> None:
@@ -102,14 +115,26 @@ def verify_program(
     backend: str = "relational",
     check_every: int = 1,
     check_mirror: bool = True,
+    audit_every: int = 0,
+    journal: "RequestJournal | None" = None,
 ) -> ReplayHarness:
     """Replay ``script`` checking after every ``check_every`` requests.
+
+    ``audit_every``/``journal`` are forwarded to the engine (see
+    :class:`DynFOEngine`): the run then additionally self-audits against
+    from-scratch replays and/or journals every request to a write-ahead log.
 
     Returns the harness (useful for further probing).  Raises
     :class:`VerificationError` on the first discrepancy.
     """
     harness = ReplayHarness(
-        program, n, backend=backend, checkers=checkers, check_every=check_every
+        program,
+        n,
+        backend=backend,
+        checkers=checkers,
+        check_every=check_every,
+        audit_every=audit_every,
+        journal=journal,
     )
     for request in script:
         harness.step(request)

@@ -34,7 +34,7 @@ from .explain import explain, plan_events
 from .games import distinguishing_rank, duplicator_wins, partial_isomorphism
 from .parser import ParseError, parse_formula
 from .printer import format_formula
-from .structure import FrozenStructure, Structure, StructureError
+from .structure import BatchUpdate, FrozenStructure, Structure, StructureError
 from .syntax import (
     And,
     Atom,
@@ -84,6 +84,7 @@ __all__ = [
     "Structure",
     "FrozenStructure",
     "StructureError",
+    "BatchUpdate",
     # syntax
     "Term",
     "Var",

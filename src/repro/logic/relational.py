@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from .evaluation import EvaluationError, eval_term, holds
 from .structure import Structure
@@ -31,7 +31,6 @@ from .syntax import (
     And,
     Atom,
     Bit,
-    Const,
     Eq,
     Exists,
     FalseF,
@@ -40,7 +39,6 @@ from .syntax import (
     Iff,
     Implies,
     Le,
-    Lit,
     Lt,
     Not,
     Or,

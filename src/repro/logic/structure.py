@@ -15,11 +15,11 @@ every mutator validates its arguments, and :meth:`Structure.copy` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Mapping
 
 from .vocabulary import Vocabulary, VocabularyError
 
-__all__ = ["Structure", "StructureError", "FrozenStructure"]
+__all__ = ["Structure", "StructureError", "FrozenStructure", "BatchUpdate"]
 
 
 class StructureError(ValueError):
@@ -182,6 +182,14 @@ class Structure:
                 out.set_constant(name, value)
         return out
 
+    def begin_batch(self) -> "BatchUpdate":
+        """Start a staged, all-or-nothing batch of edits (see
+        :class:`BatchUpdate`).  Every staging call validates eagerly, so by
+        the time :meth:`BatchUpdate.commit` runs nothing can fail and the
+        structure is either fully updated or — on any staging error —
+        provably untouched."""
+        return BatchUpdate(self)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Structure):
             return NotImplemented
@@ -221,6 +229,70 @@ class Structure:
         initial value is {0}; programs that use one set it up themselves.
         """
         return Structure(vocabulary, n)
+
+
+class BatchUpdate:
+    """Staged edits to one :class:`Structure`, committed atomically.
+
+    Staging methods mirror the structure's mutators but only record the edit
+    after validating it against the *target* structure's vocabulary and
+    universe; the target is not touched until :meth:`commit`.  ``commit``
+    performs no validation and no allocation that can fail, so an exception
+    anywhere during staging leaves the structure byte-identical to before.
+
+    Edits are applied in commit order: whole-relation replacements first,
+    then single-tuple add/discard edits (in staging order), then constants —
+    matching the engine's primed-swap-then-mirror update discipline.
+    """
+
+    __slots__ = ("_structure", "_relations", "_edits", "_constants", "_committed")
+
+    def __init__(self, structure: Structure) -> None:
+        self._structure = structure
+        self._relations: dict[str, set[tuple[int, ...]]] = {}
+        self._edits: list[tuple[str, str, tuple[int, ...]]] = []
+        self._constants: dict[str, int] = {}
+        self._committed = False
+
+    def set_relation(self, name: str, tuples: Iterable[tuple[int, ...]]) -> None:
+        """Stage a whole-relation replacement."""
+        structure = self._structure
+        structure.relation_view(name)  # raises on unknown name
+        self._relations[name] = {
+            structure._check_tuple(name, tuple(tup)) for tup in tuples
+        }
+
+    def add(self, name: str, tup: tuple[int, ...]) -> None:
+        """Stage a single-tuple insertion."""
+        self._edits.append(("add", name, self._structure._check_tuple(name, tup)))
+
+    def discard(self, name: str, tup: tuple[int, ...]) -> None:
+        """Stage a single-tuple removal."""
+        self._edits.append(("discard", name, self._structure._check_tuple(name, tup)))
+
+    def set_constant(self, name: str, value: int) -> None:
+        """Stage a constant write."""
+        structure = self._structure
+        if name not in structure._constants:
+            raise StructureError(f"unknown constant {name!r}")
+        self._constants[name] = structure._check_element(value)
+
+    def commit(self) -> None:
+        """Apply every staged edit.  Infallible by construction; a batch
+        commits at most once."""
+        if self._committed:
+            raise StructureError("batch already committed")
+        self._committed = True
+        structure = self._structure
+        for name, rows in self._relations.items():
+            structure._relations[name] = rows
+        for kind, name, tup in self._edits:
+            if kind == "add":
+                structure._relations[name].add(tup)
+            else:
+                structure._relations[name].discard(tup)
+        for name, value in self._constants.items():
+            structure._constants[name] = value
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,7 @@ from __future__ import annotations
 from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
 from ..logic.dsl import Rel, c, eq, exists, forall, le, lt
 from ..logic.structure import Structure
-from ..logic.syntax import Formula, Or, TermLike
+from ..logic.syntax import Formula, TermLike
 from ..logic.vocabulary import Vocabulary
 
 __all__ = ["make_dyck_program", "left_relation", "right_relation"]

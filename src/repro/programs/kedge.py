@@ -30,11 +30,10 @@ import itertools
 from ..dynfo.compose import compose_rule
 from ..dynfo.engine import DynFOEngine
 from ..dynfo.program import DynFOProgram, Query, UpdateRule, inline_temporaries
-from ..logic.dsl import Rel, c, eq, exists, forall, neq
+from ..logic.dsl import Rel, eq, exists, forall, neq
 from ..logic.structure import Structure
-from ..logic.syntax import Const, Formula, Var
+from ..logic.syntax import Formula, Var
 from ..logic.transform import substitute_constants
-from ..logic.vocabulary import Vocabulary
 from .reach_u import (
     AUX_VOCABULARY,
     E,

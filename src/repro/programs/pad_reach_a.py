@@ -35,7 +35,7 @@ complexity" into "Dyn-FO with n amortized steps".
 from __future__ import annotations
 
 from ..dynfo.program import DynFOProgram, Query, RelationDef, UpdateRule
-from ..logic.dsl import Rel, c, eq, exists, forall, le, lit, lt, neq
+from ..logic.dsl import Rel, c, eq, exists, forall, le, lit, lt
 from ..logic.structure import Structure
 from ..logic.syntax import Formula, TermLike
 from ..logic.vocabulary import Vocabulary

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable
 
 from ..dynfo.requests import Delete, Insert, Request, SetConst, apply_request
 from ..logic.structure import Structure

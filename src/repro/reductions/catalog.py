@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..logic.dsl import Rel, c, eq, forall, neq
 from ..logic.structure import Structure

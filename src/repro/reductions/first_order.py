@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from ..logic.evaluation import naive_query
 from ..logic.relational import RelationalEvaluator
 from ..logic.structure import Structure
 from ..logic.syntax import Formula

@@ -10,7 +10,6 @@ degree bounds, unique weights) maintain those invariants themselves.
 from __future__ import annotations
 
 import random
-from typing import Iterable
 
 from ..dynfo.requests import Delete, Insert, Request, SetConst
 

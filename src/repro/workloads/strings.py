@@ -6,7 +6,6 @@ contracts (one symbol per position, token budgets)."""
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from ..baselines.automata import DFA
 from ..dynfo.requests import Delete, Insert, Request

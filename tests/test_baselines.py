@@ -26,7 +26,6 @@ from repro.baselines import (
     matching_is_valid,
     max_flow_min_cut,
     mod_counter_dfa,
-    reachable_pairs_undirected,
     school_multiply_bits,
     spanning_forest_is_valid,
     substring_dfa,

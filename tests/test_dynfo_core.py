@@ -12,7 +12,6 @@ from repro.dynfo import (
     Query,
     RelationDef,
     ReplayHarness,
-    Request,
     SetConst,
     UnsupportedRequest,
     UpdateRule,
@@ -26,8 +25,8 @@ from repro.dynfo import (
     verify_program,
 )
 from repro.dynfo.verify import exact_boolean_checker
-from repro.logic import Structure, Vocabulary, holds
-from repro.logic.dsl import Rel, c, eq, exists, neq
+from repro.logic import Structure, Vocabulary
+from repro.logic.dsl import Rel, c, eq, neq
 from repro.programs import make_parity_program
 
 

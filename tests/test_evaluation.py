@@ -9,8 +9,6 @@ from repro.logic import (
     Le,
     Lit,
     Lt,
-    Structure,
-    Vocabulary,
     holds,
     naive_query,
 )

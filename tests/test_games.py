@@ -4,7 +4,6 @@ Connectivity and parity are not static FO (over the bare relational
 vocabulary); the k-round game makes that concrete on small structures.
 """
 
-import pytest
 
 from repro.logic import Structure, Vocabulary, distinguishing_rank, duplicator_wins
 from repro.logic.games import partial_isomorphism

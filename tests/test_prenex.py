@@ -12,7 +12,7 @@ from repro.logic import (
     quantifier_prefix,
     to_prenex,
 )
-from repro.logic.dsl import Rel, eq, exists, forall
+from repro.logic.dsl import Rel, exists, forall
 from repro.logic.transform import free_vars
 
 from .formula_gen import formulas, structures

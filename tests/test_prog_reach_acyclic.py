@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dynfo import DynFOEngine, Insert, Delete, check_memoryless, verify_program
+from repro.dynfo import DynFOEngine, Insert, check_memoryless, verify_program
 from repro.dynfo.oracles import paths_checker
 from repro.programs import make_reach_acyclic_program
 from repro.workloads import dag_script

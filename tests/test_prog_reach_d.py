@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.baselines import deterministic_reachable
-from repro.dynfo import Delete, Insert, SetConst, apply_request
+from repro.dynfo import apply_request
 from repro.logic import Structure
 from repro.programs import make_reach_d_engine
 from repro.workloads import reach_d_script

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dynfo import Delete, DynFOEngine, Insert, verify_program
+from repro.dynfo import DynFOEngine, verify_program
 from repro.dynfo.oracles import connectivity_checker, spanning_forest_checker
 from repro.programs import make_reach_u_program
 from repro.workloads import undirected_script

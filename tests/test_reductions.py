@@ -4,7 +4,6 @@ COLOR-REACH."""
 import pytest
 
 from repro.baselines import deterministic_reachable, same_component
-from repro.dynfo import Insert, SetConst
 from repro.logic import Structure, Vocabulary
 from repro.logic.dsl import Rel, eq
 from repro.reductions import (

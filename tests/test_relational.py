@@ -5,7 +5,6 @@ import pytest
 
 from repro.logic import (
     EvaluationError,
-    Not,
     RelationalEvaluator,
     Structure,
     Vocabulary,

@@ -1,0 +1,93 @@
+"""Error paths and round-trips for the request script codecs (ISSUE 1
+satellite): malformed items, unknown ops, nested Operation expansions."""
+
+import pytest
+
+from repro.dynfo import (
+    Delete,
+    Insert,
+    Operation,
+    SetConst,
+    request_from_item,
+    request_to_item,
+    script_from_json,
+    script_to_json,
+)
+
+
+def _nested_operation() -> Operation:
+    inner = Operation(
+        "swap", (1, 2), expansion=(Delete("E", (1, 2)), Insert("E", (2, 1)))
+    )
+    return Operation(
+        "rewire",
+        (0, 1, 2),
+        expansion=(Insert("E", (0, 1)), inner, SetConst("root", 2)),
+    )
+
+
+class TestRoundTrips:
+    def test_basic_script_roundtrip(self):
+        script = [Insert("E", (0, 1)), Delete("E", (0, 1)), SetConst("s", 3)]
+        assert script_from_json(script_to_json(script)) == script
+
+    def test_nested_operation_roundtrip(self):
+        script = [_nested_operation(), Insert("E", (3, 4))]
+        restored = script_from_json(script_to_json(script))
+        assert restored == script
+        assert restored[0].expansion[1].expansion == (
+            Delete("E", (1, 2)),
+            Insert("E", (2, 1)),
+        )
+
+    def test_item_roundtrip(self):
+        request = _nested_operation()
+        assert request_from_item(request_to_item(request)) == request
+
+    def test_empty_script(self):
+        assert script_from_json(script_to_json([])) == []
+
+
+class TestMalformedItems:
+    def test_not_json(self):
+        with pytest.raises(ValueError, match="not a request script"):
+            script_from_json("{nope")
+
+    def test_top_level_not_a_list(self):
+        with pytest.raises(ValueError, match="JSON array"):
+            script_from_json('{"op": "ins"}')
+
+    def test_item_not_an_object(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            script_from_json('["ins"]')
+
+    def test_missing_op(self):
+        with pytest.raises(ValueError, match="missing 'op'"):
+            request_from_item({"rel": "E", "tup": [0, 1]})
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown request op"):
+            request_from_item({"op": "truncate", "rel": "E"})
+
+    def test_missing_field_reports_which_item(self):
+        with pytest.raises(ValueError, match="malformed 'ins'"):
+            request_from_item({"op": "ins", "rel": "E"})  # no tup
+
+    def test_wrong_field_type(self):
+        with pytest.raises(ValueError, match="malformed 'ins'"):
+            request_from_item({"op": "ins", "rel": "E", "tup": 7})
+
+    def test_malformed_nested_expansion(self):
+        with pytest.raises(ValueError, match="malformed"):
+            request_from_item(
+                {
+                    "op": "operation",
+                    "name": "zap",
+                    "args": [],
+                    "expansion": [{"op": "ins", "rel": "E"}],
+                }
+            )
+
+    def test_malformed_operation_missing_expansion(self):
+        with pytest.raises(ValueError, match="malformed 'operation'"):
+            request_from_item({"op": "operation", "name": "zap", "args": []})

@@ -5,7 +5,6 @@ import pytest
 
 from repro.bench import Table, crossover, run_experiment, time_per_step
 from repro.dynfo import (
-    Delete,
     DynFOEngine,
     Insert,
     UnsupportedRequest,

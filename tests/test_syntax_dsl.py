@@ -17,7 +17,7 @@ from repro.logic import (
     TOP,
     Var,
 )
-from repro.logic.dsl import Rel, c, either_order, eq, eq2, exists, forall, lit, neq
+from repro.logic.dsl import Rel, c, either_order, eq, eq2, exists, lit, neq
 from repro.logic.syntax import as_term
 
 

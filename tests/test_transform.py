@@ -5,7 +5,6 @@ import pytest
 
 from repro.logic import (
     And,
-    Atom,
     Const,
     Eq,
     Exists,
@@ -21,7 +20,6 @@ from repro.logic import (
     Vocabulary,
     connective_depth,
     constants_of,
-    format_formula,
     free_vars,
     formula_size,
     holds,
@@ -32,7 +30,7 @@ from repro.logic import (
     substitute,
     to_nnf,
 )
-from repro.logic.dsl import Rel, eq, exists, forall
+from repro.logic.dsl import Rel, exists, forall
 from repro.logic.transform import substitute_constants, substitute_relations
 
 E = Rel("E")

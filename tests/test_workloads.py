@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines import forest_parents, is_acyclic
-from repro.dynfo import Insert, Request, evaluate_script
+from repro.dynfo import Request, evaluate_script
 from repro.logic import Vocabulary
 from repro.workloads import (
     bitflip_script,
