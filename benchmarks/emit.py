@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Emit the machine-readable plan-cache benchmark: BENCH_plan_cache.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/emit.py                  # full run
+    PYTHONPATH=src python benchmarks/emit.py --quick          # CI smoke
+    PYTHONPATH=src python benchmarks/emit.py --no-baseline    # skip git arm
+
+Equivalent to ``dynfo bench --bench-json BENCH_plan_cache.json``; the
+measurement kernels live in :mod:`repro.bench.plan_cache` so both entry
+points emit identical payloads.  See that module for what the arms mean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.plan_cache import PRE_REFACTOR_REV, collect, write_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_plan_cache.json",
+        help="output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small universes/scripts; skips the git-history baseline arm",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the pre-refactor git-history baseline arm",
+    )
+    parser.add_argument(
+        "--baseline-rev",
+        default=PRE_REFACTOR_REV,
+        help="revision holding the pre-refactor evaluators (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reach-n",
+        type=int,
+        default=64,
+        help="universe size for the reach_u headline comparison",
+    )
+    args = parser.parse_args(argv)
+    payload = collect(
+        quick=args.quick,
+        baseline_rev=None if args.no_baseline else args.baseline_rev,
+        reach_n=args.reach_n,
+    )
+    path = write_json(args.out, payload)
+    headline = payload.get("reach_u_headline", {})
+    if "speedup_x" in headline:
+        print(f"reach_u n={args.reach_n}: {headline['speedup_x']}x vs pre-refactor")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

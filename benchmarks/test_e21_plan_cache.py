@@ -1,0 +1,46 @@
+"""E21 — Plan-cache smoke: compile-once holds and caching pays for itself.
+
+Marked ``quick`` so CI can run it without pytest-benchmark as a regression
+tripwire for the compiled-plan pipeline (``pytest benchmarks -m quick``);
+the machine-readable trajectory lives in BENCH_plan_cache.json (see
+``benchmarks/emit.py``).
+"""
+
+import pytest
+
+from repro.bench.plan_cache import SUITE, measure_compiled, measure_per_request
+
+pytestmark = pytest.mark.quick
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_compile_once_per_rule(name):
+    result = measure_compiled(name, "relational", n=10, steps=40)
+    lookups = result["cache_hits"] + result["cache_misses"]
+    assert lookups == 40  # one plan lookup per update
+    # compile-once: misses bounded by the program's rule count, not steps
+    assert result["cache_misses"] <= 10
+    second = measure_compiled(name, "relational", n=10, steps=40)
+    assert second["cache_misses"] == result["cache_misses"]
+
+
+def test_dense_backend_caches_too(quick_n=10):
+    result = measure_compiled("reach_u", "dense", n=quick_n, steps=30)
+    assert result["cache_misses"] <= 2
+    assert result["cache_hit_rate"] > 0.9
+
+
+def test_compile_cost_amortizes_away():
+    """Across a longer run, total compile time is a vanishing fraction."""
+    result = measure_compiled("reach_u", "relational", n=12, steps=120)
+    assert result["cache_misses"] <= 2
+    assert result["compile_amortized_fraction"] < 0.25
+
+
+def test_cached_plans_not_slower_than_recompiling():
+    """The cache must never lose to per-request recompilation by more than
+    measurement noise — a tripwire for accidentally keying the cache wrong
+    (every lookup missing would double compile work per update)."""
+    compiled = measure_compiled("reach_u", "relational", n=12, steps=60)
+    recompile = measure_per_request("reach_u", n=12, steps=60)
+    assert compiled["per_update_ns"] < recompile["per_update_ns"] * 1.5

@@ -8,10 +8,14 @@ Subcommands
 ``bench E2 [E5 ...] [--full]``
     Run experiments from DESIGN.md Sec. 4 and print their tables
     (``all`` runs the whole suite).
-``verify reach_u [--n 8] [--steps 120] [--seed 0] [--audit-every N] [--journal PATH]``
+``verify reach_u [--n 8] [--steps 120] [--seed 0] [--audit-every N] [--journal PATH] [--max-rows N]``
     Replay a randomized workload against the from-scratch oracle,
-    optionally self-auditing the auxiliary structure and/or journaling
-    every request to a crash-safe write-ahead log.
+    optionally self-auditing the auxiliary structure, journaling every
+    request to a crash-safe write-ahead log, and/or capping the
+    materialization budget per update.
+``explain reach_u [--backend relational|dense] [--rule insert:E] [--query reach]``
+    Print the compiled physical plans the engine caches and replays —
+    the static view of what every update/query executes.
 ``demo``
     A tiny REACH_u session showing the update formulas at work.
 """
@@ -105,7 +109,22 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = list(args.experiments)
-    if not names or [n.lower() for n in names] == ["all"]:
+    if args.bench_json:
+        from .bench.plan_cache import PRE_REFACTOR_REV, collect, write_json
+
+        rev = args.baseline_rev or PRE_REFACTOR_REV
+        payload = collect(
+            quick=args.quick_json,
+            baseline_rev=None if args.quick_json else rev,
+        )
+        path = write_json(args.bench_json, payload)
+        headline = payload.get("reach_u_headline", {})
+        if "speedup_x" in headline:
+            print(f"reach_u headline speedup: {headline['speedup_x']}x vs pre-refactor")
+        print(f"wrote {path}")
+        if not names:
+            return 0
+    elif not names or [n.lower() for n in names] == ["all"]:
         names = list(EXPERIMENTS)
     for name in names:
         start = time.perf_counter()
@@ -139,6 +158,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             checkers,
             audit_every=args.audit_every,
             journal=journal,
+            max_rows=args.max_rows,
         )
     finally:
         if journal is not None:
@@ -154,6 +174,74 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         f"from-scratch oracle after every request ({elapsed:.1f}s)"
         + ("".join(f"; {extra}" for extra in extras))
     )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .logic.explain import render_plan
+    from .logic.plan import compile_formula
+
+    name = args.program
+    if name not in PROGRAM_FACTORIES:
+        print(
+            f"unknown program {name!r}; choose from "
+            f"{', '.join(sorted(PROGRAM_FACTORIES))}",
+            file=sys.stderr,
+        )
+        return 2
+    program = PROGRAM_FACTORIES[name]()
+    # the one backend-sensitive compile choice; see logic/plan.py
+    distribute = args.backend != "dense"
+
+    def show(owner: str, definitions) -> None:
+        for definition in definitions:
+            frame = ", ".join(definition.frame)
+            print(f"\n{owner} :: {definition.name}({frame})")
+            plan = compile_formula(
+                definition.formula, definition.frame, distribute=distribute
+            )
+            print(render_plan(plan))
+
+    rules = []
+    for kind, table in (
+        ("insert", program.on_insert),
+        ("delete", program.on_delete),
+        ("set", program.on_set),
+        ("op", program.on_operation),
+    ):
+        for rel, rule in sorted(table.items()):
+            rules.append((f"{kind}:{rel}", rule))
+    wanted = {r for r in (args.rule or [])}
+    unknown = wanted - {tag for tag, _ in rules}
+    unknown_queries = set(args.query or []) - set(program.queries)
+    if unknown or unknown_queries:
+        if unknown:
+            print(
+                f"no rule {sorted(unknown)}; available: "
+                f"{', '.join(tag for tag, _ in rules)}",
+                file=sys.stderr,
+            )
+        if unknown_queries:
+            print(
+                f"no query {sorted(unknown_queries)}; available: "
+                f"{', '.join(sorted(program.queries))}",
+                file=sys.stderr,
+            )
+        return 2
+    show_all = not wanted and not args.query
+    print(f"{name}: compiled plans for backend {args.backend!r}")
+    for tag, rule in rules:
+        if not show_all and tag not in wanted:
+            continue
+        show(f"{tag} [temp]", rule.temporaries)
+        show(tag, rule.definitions)
+    for qname, query in sorted(program.queries.items()):
+        if not show_all and qname not in (args.query or []):
+            continue
+        frame = ", ".join(query.frame) or "boolean"
+        print(f"\nquery :: {qname}({frame})")
+        plan = compile_formula(query.formula, query.frame, distribute=distribute)
+        print(render_plan(plan))
     return 0
 
 
@@ -199,6 +287,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run experiments E1..E18")
     bench.add_argument("experiments", nargs="*", help="experiment ids or 'all'")
     bench.add_argument("--full", action="store_true", help="bigger sweeps")
+    bench.add_argument(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable plan-cache benchmark "
+        "(BENCH_plan_cache.json) instead of / before the tables",
+    )
+    bench.add_argument(
+        "--quick-json",
+        action="store_true",
+        help="small universes for --bench-json (CI smoke; skips the "
+        "git-history baseline arm)",
+    )
+    bench.add_argument(
+        "--baseline-rev",
+        default=None,
+        metavar="REV",
+        help="git revision holding the pre-refactor evaluators for the "
+        "--bench-json baseline arm (default: the recorded pre-plan-IR "
+        "commit; ignored with --quick-json)",
+    )
     bench.set_defaults(fn=_cmd_bench)
 
     verify = sub.add_parser("verify", help="oracle-verify a program")
@@ -221,7 +330,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every accepted request to a crash-safe write-ahead "
         "journal at PATH",
     )
+    verify.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="materialization budget per update (rows for the relational "
+        "backend); typed EngineError when exceeded",
+    )
     verify.set_defaults(fn=_cmd_verify)
+
+    explain = sub.add_parser(
+        "explain", help="print a program's compiled physical plans"
+    )
+    explain.add_argument("program", help="program name (see 'list')")
+    explain.add_argument(
+        "--backend",
+        choices=["relational", "dense"],
+        default="relational",
+        help="compile for this executor (plan shape differs: the dense "
+        "backend skips And-over-Or distribution)",
+    )
+    explain.add_argument(
+        "--rule",
+        action="append",
+        metavar="KIND:NAME",
+        help="only these rules (e.g. insert:E, delete:E); repeatable",
+    )
+    explain.add_argument(
+        "--query",
+        action="append",
+        metavar="NAME",
+        help="only these named queries; repeatable",
+    )
+    explain.set_defaults(fn=_cmd_explain)
 
     sub.add_parser("demo", help="print REACH_u's formulas, run a session").set_defaults(
         fn=_cmd_demo

@@ -35,7 +35,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from ..logic.dense import DenseEvaluator
-from ..logic.evaluation import naive_query
+from ..logic.evaluation import EvaluationError, naive_query
 from ..logic.relational import RelationalEvaluator
 from ..logic.structure import BatchUpdate, Structure, StructureError
 from ..logic.syntax import Formula, Lit, Term
@@ -91,6 +91,7 @@ class DynFOEngine:
         backend: str | Callable[..., object] = "relational",
         audit_every: int = 0,
         journal: "RequestJournal | None" = None,
+        max_rows: int | None = None,
     ) -> None:
         if isinstance(backend, str):
             if backend not in BACKENDS:
@@ -104,6 +105,23 @@ class DynFOEngine:
                 backend, "name", getattr(backend, "__name__", type(backend).__name__)
             )
             self._backend_factory = backend
+        # The optimized backends execute plans compiled once per program via
+        # DynFOProgram.compile; the naive backend and callable factories
+        # (chaos wrappers, custom evaluators) keep the per-request path.
+        self._use_plans = isinstance(backend, str) and backend in (
+            "relational",
+            "dense",
+        )
+        self.max_rows = max_rows
+        if max_rows is not None:
+            if not self._use_plans:
+                raise ValueError(
+                    "max_rows requires the relational or dense backend "
+                    f"(got {self.backend_name!r})"
+                )
+            if max_rows <= 0:
+                raise ValueError(f"max_rows must be positive, got {max_rows}")
+        self._compiled = program.compile(self.backend_name, n) if self._use_plans else None
         self.program = program
         self.n = n
         self.structure = program.initial(n)
@@ -172,21 +190,39 @@ class DynFOEngine:
         source = self.structure
         temporary_tuples = 0
         try:
+            # compiled once per (rule, backend, n), then a cache hit forever
+            compiled = (
+                self._compiled.rule_plans(rule) if self._compiled is not None else None
+            )
             if rule.temporaries:
                 scratch_vocab = self.program.aux_vocabulary.extend(
                     relations=[(d.name, len(d.frame)) for d in rule.temporaries]
                 )
                 source = self.structure.expand(scratch_vocab)
-                scratch_eval = self._backend_factory(source, params)
-                for temp in rule.temporaries:
-                    rows = scratch_eval.rows(temp.formula, temp.frame)
-                    temporary_tuples += len(rows)
-                    source.set_relation(temp.name, rows)
-            evaluator = self._backend_factory(source, params)
-            new_relations = {
-                definition.name: evaluator.rows(definition.formula, definition.frame)
-                for definition in rule.definitions
-            }
+                scratch_eval = self._make_evaluator(source, params)
+                if compiled is not None:
+                    for name, plan in compiled.temporaries:
+                        rows = scratch_eval.execute(plan)
+                        temporary_tuples += len(rows)
+                        source.set_relation(name, rows)
+                else:
+                    for temp in rule.temporaries:
+                        rows = scratch_eval.rows(temp.formula, temp.frame)
+                        temporary_tuples += len(rows)
+                        source.set_relation(temp.name, rows)
+            evaluator = self._make_evaluator(source, params)
+            if compiled is not None:
+                new_relations = {
+                    name: evaluator.execute(plan)
+                    for name, plan in compiled.definitions
+                }
+            else:
+                new_relations = {
+                    definition.name: evaluator.rows(
+                        definition.formula, definition.frame
+                    )
+                    for definition in rule.definitions
+                }
         except EngineError:
             raise
         except Exception as error:
@@ -229,6 +265,15 @@ class DynFOEngine:
             "temporary_tuples": temporary_tuples,
         }
         return batch, stats
+
+    def _make_evaluator(self, structure: Structure, params: Mapping[str, int]):
+        """A backend evaluator over ``structure``, honouring the engine's
+        materialization budget (``max_rows``) on the optimized backends."""
+        if self._use_plans and self.max_rows is not None:
+            if self.backend_name == "relational":
+                return self._backend_factory(structure, params, max_rows=self.max_rows)
+            return self._backend_factory(structure, params, max_cells=self.max_rows)
+        return self._backend_factory(structure, params)
 
     def _stage_basic(self, batch: BatchUpdate, basic: Insert | Delete) -> None:
         """Stage one basic input edit, honouring the program's undirected
@@ -415,8 +460,15 @@ class DynFOEngine:
         """Evaluate a named query, returning its relation over its frame."""
         query = self._get_query(name)
         bound = {p: params[p] for p in query.params}
-        evaluator = self._backend_factory(self.structure, bound)
-        return evaluator.rows(query.formula, query.frame)
+        evaluator = self._make_evaluator(self.structure, bound)
+        try:
+            if self._compiled is not None:
+                return evaluator.execute(self._compiled.query_plan(query))
+            return evaluator.rows(query.formula, query.frame)
+        except EvaluationError as error:
+            raise EngineError(
+                f"query {name!r} exceeded the evaluation budget: {error}"
+            ) from error
 
     def ask(self, name: str, **params: int) -> bool:
         """Evaluate a boolean query (empty frame)."""
@@ -424,8 +476,27 @@ class DynFOEngine:
         if query.frame:
             raise ValueError(f"query {name!r} returns a relation; use query()")
         bound = {p: params[p] for p in query.params}
-        evaluator = self._backend_factory(self.structure, bound)
-        return evaluator.truth(query.formula)
+        evaluator = self._make_evaluator(self.structure, bound)
+        try:
+            if self._compiled is not None:
+                return bool(evaluator.execute(self._compiled.query_plan(query)))
+            return evaluator.truth(query.formula)
+        except EvaluationError as error:
+            raise EngineError(
+                f"query {name!r} exceeded the evaluation budget: {error}"
+            ) from error
+
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Compiled-plan cache counters (``hits``/``misses``/``compile_ns``).
+
+        ``misses`` counts plan compilations — exactly one per distinct
+        (rule or query, backend, n) no matter how many requests ran.  Engines
+        sharing a program instance share the cache and its counters.  All
+        zeros for the naive backend and callable factories, which keep the
+        per-request evaluation path."""
+        if self._compiled is None:
+            return {"hits": 0, "misses": 0, "compile_ns": 0}
+        return self._compiled.stats()
 
     def holds_in(self, name: str, *tup: int) -> bool:
         """Membership test against a relational query's result."""

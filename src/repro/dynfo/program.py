@@ -17,9 +17,11 @@ constants (the paper's ``a``, ``b``); the engine binds them per request.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from ..logic.plan import Plan, compile_formula
 from ..logic.structure import Structure
 from ..logic.syntax import Formula
 from ..logic.transform import connective_depth, constants_of, free_vars, quantifier_rank
@@ -30,6 +32,8 @@ __all__ = [
     "UpdateRule",
     "Query",
     "DynFOProgram",
+    "CompiledProgram",
+    "CompiledRule",
     "ProgramError",
     "inline_temporaries",
 ]
@@ -99,6 +103,92 @@ def inline_temporaries(rule: UpdateRule) -> UpdateRule:
         for d in rule.definitions
     )
     return UpdateRule(params=rule.params, definitions=definitions)
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """The physical plans of one :class:`UpdateRule`, in evaluation order
+    (temporaries first, then the simultaneous definitions)."""
+
+    temporaries: tuple[tuple[str, Plan], ...]
+    definitions: tuple[tuple[str, Plan], ...]
+
+
+class CompiledProgram:
+    """Per-(backend, n) plan cache of a :class:`DynFOProgram`.
+
+    A Dyn-FO program's update formulas are *fixed* — only the data changes —
+    so each rule is compiled into physical plans exactly once and every
+    subsequent request replays the cached plans.  Plans for update rules and
+    queries are compiled lazily on first use; :meth:`stats` proves the
+    compile-once property: across any request script, ``misses`` equals the
+    number of distinct rules and queries exercised, while every further
+    lookup is a ``hit``.
+
+    Obtained via :meth:`DynFOProgram.compile`, which caches one instance per
+    ``(backend, n)``, so the cache key for a plan is effectively
+    ``(rule, backend, n)``.  Engines sharing a program instance share its
+    compiled plans (and stats).
+    """
+
+    def __init__(self, program: "DynFOProgram", backend: str, n: int) -> None:
+        self.program = program
+        self.backend = backend
+        self.n = n
+        # And-over-Or distribution helps set-based join chains but multiplies
+        # tensor work per arm; the dense executor compiles without it
+        self._distribute = backend != "dense"
+        # id-keyed with the rule pinned so the id stays valid
+        self._rules: dict[int, tuple[UpdateRule, CompiledRule]] = {}
+        self._queries: dict[str, Plan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.compile_ns = 0
+
+    def rule_plans(self, rule: UpdateRule) -> CompiledRule:
+        """The compiled plans for ``rule``, compiling on first request."""
+        entry = self._rules.get(id(rule))
+        if entry is not None:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        started = time.perf_counter_ns()
+        compiled = CompiledRule(
+            temporaries=tuple(
+                (d.name, compile_formula(d.formula, d.frame, distribute=self._distribute))
+                for d in rule.temporaries
+            ),
+            definitions=tuple(
+                (d.name, compile_formula(d.formula, d.frame, distribute=self._distribute))
+                for d in rule.definitions
+            ),
+        )
+        self.compile_ns += time.perf_counter_ns() - started
+        self._rules[id(rule)] = (rule, compiled)
+        return compiled
+
+    def query_plan(self, query: "Query") -> Plan:
+        """The compiled plan for a named query, compiling on first request."""
+        plan = self._queries.get(query.name)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        started = time.perf_counter_ns()
+        plan = compile_formula(
+            query.formula, query.frame, distribute=self._distribute
+        )
+        self.compile_ns += time.perf_counter_ns() - started
+        self._queries[query.name] = plan
+        return plan
+
+    def stats(self) -> dict[str, int]:
+        """Cache counters: ``hits``, ``misses``, and total ``compile_ns``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compile_ns": self.compile_ns,
+        }
 
 
 @dataclass(frozen=True)
@@ -258,6 +348,28 @@ class DynFOProgram:
         for const in constants_of(formula):
             if const not in allowed:
                 raise ProgramError(f"{where}: unknown constant {const!r}")
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, backend: str, n: int) -> CompiledProgram:
+        """The program's plan cache for ``(backend, n)``.
+
+        Returns the same :class:`CompiledProgram` on every call with the same
+        key, so rule plans are compiled exactly once per (rule, backend, n)
+        no matter how many requests — or engines — exercise them.
+        """
+        cache: dict[tuple[str, int], CompiledProgram] | None = getattr(
+            self, "_compiled", None
+        )
+        if cache is None:
+            cache = {}
+            self._compiled = cache
+        key = (backend, n)
+        compiled = cache.get(key)
+        if compiled is None:
+            compiled = CompiledProgram(self, backend, n)
+            cache[key] = compiled
+        return compiled
 
     # -- metrics --------------------------------------------------------------
 

@@ -60,6 +60,7 @@ class ReplayHarness:
     check_every: int = 1
     audit_every: int = 0
     journal: "RequestJournal | None" = None
+    max_rows: int | None = None
     engine: DynFOEngine = field(init=False)
     inputs: Structure = field(init=False)
     steps: int = field(init=False, default=0)
@@ -71,6 +72,7 @@ class ReplayHarness:
             backend=self.backend,
             audit_every=self.audit_every,
             journal=self.journal,
+            max_rows=self.max_rows,
         )
         self.inputs = Structure.initial(self.program.input_vocabulary, self.n)
 
@@ -117,12 +119,14 @@ def verify_program(
     check_mirror: bool = True,
     audit_every: int = 0,
     journal: "RequestJournal | None" = None,
+    max_rows: int | None = None,
 ) -> ReplayHarness:
     """Replay ``script`` checking after every ``check_every`` requests.
 
-    ``audit_every``/``journal`` are forwarded to the engine (see
+    ``audit_every``/``journal``/``max_rows`` are forwarded to the engine (see
     :class:`DynFOEngine`): the run then additionally self-audits against
-    from-scratch replays and/or journals every request to a write-ahead log.
+    from-scratch replays, journals every request to a write-ahead log, and/or
+    caps the evaluation budget per update.
 
     Returns the harness (useful for further probing).  Raises
     :class:`VerificationError` on the first discrepancy.
@@ -135,6 +139,7 @@ def verify_program(
         check_every=check_every,
         audit_every=audit_every,
         journal=journal,
+        max_rows=max_rows,
     )
     for request in script:
         harness.step(request)

@@ -30,9 +30,17 @@ from .dsl import (
     neq,
 )
 from .evaluation import EvaluationError, eval_term, holds, naive_query
-from .explain import explain, plan_events
+from .explain import explain, plan_events, render_plan
 from .games import distinguishing_rank, duplicator_wins, partial_isomorphism
 from .parser import ParseError, parse_formula
+from .plan import (
+    Plan,
+    PlanError,
+    cached_plan,
+    compile_formula,
+    plan_depth,
+    plan_nodes,
+)
 from .printer import format_formula
 from .structure import BatchUpdate, FrozenStructure, Structure, StructureError
 from .syntax import (
@@ -147,7 +155,15 @@ __all__ = [
     "query",
     "explain",
     "plan_events",
+    "render_plan",
     "DenseEvaluator",
+    # compiled plans
+    "Plan",
+    "PlanError",
+    "compile_formula",
+    "cached_plan",
+    "plan_nodes",
+    "plan_depth",
     # games
     "duplicator_wins",
     "distinguishing_rank",

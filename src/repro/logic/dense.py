@@ -3,16 +3,18 @@
 FO = CRAM[1] (Immerman): a first-order formula can be evaluated by a CRCW
 PRAM with polynomially many processors in *constant* parallel time — one
 parallel step per connective or quantifier block.  This evaluator realizes
-that model literally: every variable is a tensor axis, every subformula
-evaluates to a boolean ndarray broadcast over the mentioned axes, and every
-connective / quantifier is a single vectorized NumPy operation (the
-"parallel step").
+that model literally, executing the same compiled physical plans as the
+relational backend (:mod:`repro.logic.plan`) but with a tensor
+interpretation: every plan node materializes a boolean ndarray with one axis
+per output column, and every join / filter / union / complement / projection
+is a single vectorized NumPy operation (the "parallel step").
 
-The number of parallel steps performed therefore equals
-:func:`repro.logic.transform.connective_depth` of the formula — a quantity
-independent of the structure size ``n`` — while the *hardware* (tensor
-cells) is polynomial, ``n^v`` for ``v`` distinct variables.  Experiment E16
-measures exactly this.
+The number of parallel steps performed is a property of the *plan* — a
+quantity independent of the structure size ``n``, compiled once per formula
+— while the *hardware* (tensor cells) is polynomial: ``n^w`` for the widest
+plan node, which the compiler keeps at |frame| plus the quantifier-nesting
+width rather than the total variable count.  Experiment E16 measures exactly
+this.
 """
 
 from __future__ import annotations
@@ -22,36 +24,55 @@ from typing import Mapping
 import numpy as np
 
 from .evaluation import EvaluationError, eval_term
+from .plan import (
+    AtomScan,
+    CompareScan,
+    Complement,
+    ConstBind,
+    EmptyScan,
+    Extend,
+    Filter,
+    HashJoin,
+    Plan,
+    Project,
+    Union,
+    UnitScan,
+    cached_plan,
+    plan_nodes,
+)
 from .structure import Structure
 from .syntax import (
     And,
-    Atom,
-    Bit,
-    Eq,
     Exists,
-    FalseF,
     Forall,
     Formula,
     Iff,
     Implies,
-    Le,
-    Lt,
     Not,
     Or,
     Term,
-    TrueF,
     Var,
 )
-from .transform import free_vars, standardize_apart
+from .transform import free_vars
 
 __all__ = ["DenseEvaluator"]
 
+_COMPARE_UFUNCS = {
+    "eq": np.equal,
+    "le": np.less_equal,
+    "lt": np.less,
+}
+
 
 class DenseEvaluator:
-    """Evaluates formulas as boolean tensors over one fixed structure.
+    """Executes compiled plans as boolean tensors over one fixed structure.
 
     API-compatible with :class:`repro.logic.relational.RelationalEvaluator`
-    (``rows`` and ``truth``), so the Dyn-FO engine can swap backends.
+    (``rows``, ``truth``, and ``execute``), so the Dyn-FO engine can swap
+    backends.  Node results are memoized per plan-node object, like the
+    relational executor — but *every* node is always evaluated (no
+    data-dependent short-circuits), so ``parallel_steps`` depends only on
+    the plan shape, never on the data.
     """
 
     def __init__(
@@ -64,7 +85,9 @@ class DenseEvaluator:
         self.params = dict(params) if params else {}
         self.max_cells = max_cells
         self._relation_arrays: dict[str, np.ndarray] = {}
-        self.parallel_steps = 0  # connective/quantifier ops in the last call
+        # id-keyed per-node memo; the node is pinned so its id stays valid
+        self._results: dict[int, tuple[Plan, np.ndarray]] = {}
+        self.parallel_steps = 0  # vectorized ops in the last call
 
     # -- public API ----------------------------------------------------------
 
@@ -72,57 +95,45 @@ class DenseEvaluator:
         missing = free_vars(formula) - set(frame)
         if missing:
             raise EvaluationError(f"frame {frame} does not bind {sorted(missing)}")
-        if not frame:
-            return {()} if self.truth(formula) else set()
-        array, axes = self._run(formula, frame)
-        n = self.structure.n
-        # collapse bound-variable axes (all size one after quantification)
-        frame_axes = [axes[v] for v in frame]
-        slicer = tuple(
-            slice(None) if i in frame_axes else 0 for i in range(array.ndim)
-        )
-        collapsed = array[slicer]
-        # collapsed now has one axis per frame variable, ordered by axis index
-        order = np.argsort(np.argsort(frame_axes))
-        full = np.broadcast_to(collapsed, (n,) * len(frame))
-        hits = np.argwhere(full)
-        return {tuple(int(hit[order[i]]) for i in range(len(frame))) for hit in hits}
+        return self.execute(cached_plan(formula, tuple(frame), distribute=False))
 
     def truth(self, sentence: Formula) -> bool:
         if free_vars(sentence):
             raise EvaluationError("truth() requires a sentence")
-        array, _ = self._run(sentence, ())
-        return bool(array.reshape(-1)[0])
+        return bool(self.execute(cached_plan(sentence, (), distribute=False)))
+
+    def execute(self, plan: Plan) -> set[tuple[int, ...]]:
+        """Run a compiled plan; returns the result rows over its columns."""
+        self._check_budget(plan)
+        self.parallel_steps = 0
+        array = self._exec(plan)
+        if not plan.columns:
+            return {()} if array.reshape(-1)[0] else set()
+        full = np.broadcast_to(array, (self.structure.n,) * len(plan.columns))
+        return {tuple(int(v) for v in hit) for hit in np.argwhere(full)}
 
     # -- setup -----------------------------------------------------------------
 
-    def _run(self, formula: Formula, frame: tuple[str, ...]):
-        formula = standardize_apart(formula)
-        axes, total = _assign_axes(formula, frame)
+    def _check_budget(self, plan: Plan) -> None:
+        widest = max(len(node.columns) for node in plan_nodes(plan))
         n = self.structure.n
-        if total > 0 and n ** total > self.max_cells:
+        if widest > 0 and n**widest > self.max_cells:
             raise EvaluationError(
-                f"dense evaluation needs n^{total} cells; "
+                f"dense evaluation needs n^{widest} cells; "
                 f"n={n} exceeds the {self.max_cells}-cell budget"
             )
-        self.parallel_steps = 0
-        array = self._eval(formula, axes, total)
-        return array, axes
 
-    # -- term and atom tensors ----------------------------------------------------
+    # -- term and relation tensors ----------------------------------------------
 
-    def _axis_shape(self, axis: int, total: int) -> tuple[int, ...]:
-        shape = [1] * total
-        shape[axis] = self.structure.n
-        return tuple(shape)
-
-    def _term_array(self, term: Term, axes: Mapping[str, int], total: int):
-        """An integer ndarray (broadcastable) holding the term's value."""
+    def _term_array(self, term: Term, columns: tuple[str, ...]):
+        """An integer ndarray (broadcastable over ``columns``) holding the
+        term's value."""
         if isinstance(term, Var):
-            axis = axes[term.name]
-            return np.arange(self.structure.n).reshape(self._axis_shape(axis, total))
-        value = eval_term(term, self.structure, {}, self.params)
-        return np.array(value)
+            axis = columns.index(term.name)
+            shape = [1] * len(columns)
+            shape[axis] = self.structure.n
+            return np.arange(self.structure.n).reshape(shape)
+        return np.array(eval_term(term, self.structure, {}, self.params))
 
     def _relation_array(self, name: str) -> np.ndarray:
         cached = self._relation_arrays.get(name)
@@ -141,82 +152,119 @@ class DenseEvaluator:
         self._relation_arrays[name] = array
         return array
 
-    def _eval_atom(self, atom: Atom, axes: Mapping[str, int], total: int):
-        rel = self._relation_array(atom.rel)
-        if not atom.args:
-            return rel  # scalar; reshaped by the caller
-        index = []
-        for arg in atom.args:
-            index.append(self._term_array(arg, axes, total))
-        # advanced indexing broadcasts the index arrays together
-        result = rel[tuple(index)]
+    # -- plan execution ---------------------------------------------------------
+
+    def _exec(self, plan: Plan) -> np.ndarray:
+        cached = self._results.get(id(plan))
+        if cached is not None:
+            return cached[1]
+        result = self._exec_node(plan)
+        self._results[id(plan)] = (plan, result)
         return result
 
-    # -- recursive evaluation ---------------------------------------------------------
+    def _expand(
+        self, array: np.ndarray, columns: tuple[str, ...], out: tuple[str, ...]
+    ) -> np.ndarray:
+        """Permute ``array``'s axes (one per column) into the order of
+        ``out`` and insert broadcast axes for missing columns.  Axes may be
+        size one (broadcast semantics: the value is column-independent), so
+        this never materializes anything."""
+        order = sorted(range(len(columns)), key=lambda i: out.index(columns[i]))
+        if order != list(range(len(columns))):
+            array = np.transpose(array, order)
+        if len(out) != len(columns):
+            ordered = [columns[i] for i in order]
+            shape = []
+            j = 0
+            for column in out:
+                if j < len(ordered) and ordered[j] == column:
+                    shape.append(array.shape[j])
+                    j += 1
+                else:
+                    shape.append(1)
+            array = array.reshape(shape)
+        return array
 
-    def _eval(self, formula: Formula, axes: Mapping[str, int], total: int):
-        ones = (1,) * total
-
-        def lift(value: bool):
-            return np.full(ones, value, dtype=bool)
-
-        if isinstance(formula, TrueF):
-            return lift(True)
-        if isinstance(formula, FalseF):
-            return lift(False)
-        if isinstance(formula, Atom):
-            result = self._eval_atom(formula, axes, total)
-            return np.reshape(result, ones) if result.ndim == 0 else result
-        if isinstance(formula, (Eq, Le, Lt)):
-            left = self._term_array(formula.left, axes, total)
-            right = self._term_array(formula.right, axes, total)
+    def _exec_node(self, plan: Plan) -> np.ndarray:
+        if isinstance(plan, UnitScan):
+            return np.array(True)
+        if isinstance(plan, EmptyScan):
+            return np.zeros((1,) * len(plan.columns), dtype=bool)
+        if isinstance(plan, AtomScan):
+            return self._exec_atom(plan)
+        if isinstance(plan, CompareScan):
+            return self._exec_compare(plan)
+        if isinstance(plan, ConstBind):
             self.parallel_steps += 1
-            op = {Eq: np.equal, Le: np.less_equal, Lt: np.less}[type(formula)]
-            result = op(left, right)
-            return np.reshape(result, ones) if result.ndim == 0 else result
-        if isinstance(formula, Bit):
-            number = self._term_array(formula.number, axes, total)
-            index = self._term_array(formula.index, axes, total)
+            value = eval_term(plan.term, self.structure, {}, self.params)
+            return np.arange(self.structure.n) == value
+        if isinstance(plan, HashJoin):
+            left = self._exec(plan.left)
+            right = self._exec(plan.right)
             self.parallel_steps += 1
-            result = ((number >> index) & 1).astype(bool)
-            return np.reshape(result, ones) if result.ndim == 0 else result
-        if isinstance(formula, Not):
+            return self._expand(left, plan.left.columns, plan.columns) & self._expand(
+                right, plan.right.columns, plan.columns
+            )
+        if isinstance(plan, Filter):
+            source = self._exec(plan.source)
+            condition = self._exec(plan.condition)
             self.parallel_steps += 1
-            return ~self._eval(formula.body, axes, total)
-        if isinstance(formula, And):
-            arrays = [self._eval(p, axes, total) for p in formula.parts]
+            aligned = self._expand(condition, plan.condition.columns, plan.columns)
+            return source & ~aligned if plan.negated else source & aligned
+        if isinstance(plan, Project):
+            source = self._exec(plan.source)
+            src_cols = plan.source.columns
+            drop = tuple(i for i, c in enumerate(src_cols) if c not in plan.columns)
             self.parallel_steps += 1
-            result = arrays[0]
-            for array in arrays[1:]:
-                result = result & array
-            return result
-        if isinstance(formula, Or):
-            arrays = [self._eval(p, axes, total) for p in formula.parts]
+            # a size-one dropped axis is already column-independent; only
+            # reduce the live ones, then squeeze all dropped axes away
+            live = tuple(a for a in drop if source.shape[a] != 1)
+            if live:
+                source = np.any(source, axis=live, keepdims=True)
+            if drop:
+                source = source.reshape(
+                    [s for i, s in enumerate(source.shape) if i not in drop]
+                )
+            kept = tuple(c for c in src_cols if c in plan.columns)
+            return self._expand(source, kept, plan.columns)
+        if isinstance(plan, Extend):
+            source = self._exec(plan.source)
+            self.parallel_steps += 1
+            return self._expand(source, plan.source.columns, plan.columns)
+        if isinstance(plan, Complement):
+            # negation is broadcast-safe: size-one axes stay size one
+            source = self._exec(plan.source)
+            self.parallel_steps += 1
+            return ~source
+        if isinstance(plan, Union):
+            arrays = [self._exec(part) for part in plan.parts]
             self.parallel_steps += 1
             result = arrays[0]
             for array in arrays[1:]:
                 result = result | array
             return result
-        if isinstance(formula, Implies):
-            left = self._eval(formula.left, axes, total)
-            right = self._eval(formula.right, axes, total)
-            self.parallel_steps += 1
-            return ~left | right
-        if isinstance(formula, Iff):
-            left = self._eval(formula.left, axes, total)
-            right = self._eval(formula.right, axes, total)
-            self.parallel_steps += 1
-            return left == right
-        if isinstance(formula, (Exists, Forall)):
-            body = self._eval(formula.body, axes, total)
-            reducer = np.any if isinstance(formula, Exists) else np.all
-            target_axes = tuple(axes[v] for v in formula.vars)
-            self.parallel_steps += 1
-            live = tuple(a for a in target_axes if body.shape[a] != 1)
-            if not live:
-                return body
-            return reducer(body, axis=live, keepdims=True)
-        raise TypeError(f"unknown formula node {formula!r}")  # pragma: no cover
+        raise TypeError(f"unknown plan node {plan!r}")  # pragma: no cover
+
+    def _exec_atom(self, plan: AtomScan) -> np.ndarray:
+        rel = self._relation_array(plan.rel)
+        if not plan.args:
+            return rel  # scalar
+        index = [self._term_array(arg, plan.columns) for arg in plan.args]
+        # advanced indexing broadcasts the index arrays together, yielding
+        # one axis per output column
+        return rel[tuple(index)]
+
+    def _exec_compare(self, plan: CompareScan) -> np.ndarray:
+        left = self._term_array(plan.left, plan.columns)
+        right = self._term_array(plan.right, plan.columns)
+        self.parallel_steps += 1
+        if plan.op == "bit":
+            result = ((left >> right) & 1).astype(bool)
+        else:
+            result = _COMPARE_UFUNCS[plan.op](left, right)
+        if result.ndim != len(plan.columns):
+            result = np.reshape(result, (1,) * len(plan.columns))
+        return result
 
 
 def _assign_axes(
@@ -228,7 +276,9 @@ def _assign_axes(
     *sibling* quantifier scopes share axes.  The tensor rank is therefore
     |frame| + maximum quantifier-nesting width, not the total number of
     distinct variables — the difference between n^26 and n^7 on the larger
-    update formulas."""
+    update formulas.  (The plan compiler achieves the same bound via
+    projection; this function remains the direct formula-level analysis used
+    by experiment E16 and the width diagnostics.)"""
     axes: dict[str, int] = {name: i for i, name in enumerate(frame)}
     free_pool: list[int] = []
     allocated = len(frame)

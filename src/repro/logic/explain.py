@@ -1,11 +1,15 @@
-"""EXPLAIN for the relational evaluator: render the join plan it executed.
+"""EXPLAIN: render compiled physical plans and executed join traces.
 
 Dyn-FO update formulas *are* relational-calculus queries, so when one turns
-out slow the right tool is a query plan.  ``explain`` evaluates a formula
-with tracing enabled and renders the planner's steps — per-subformula
-materializations with their column frames and row counts, conjunction
-planning events (joins, filters, universe widenings), and distribution over
-disjunctions.
+out slow the right tool is a query plan.  Two views are offered:
+
+* :func:`render_plan` — the *static* view: the physical plan a formula
+  compiles to (:mod:`repro.logic.plan`), data free, exactly what the plan
+  cache replays on every request.
+* :func:`explain` / :func:`plan_events` — the *dynamic* view: evaluate a
+  formula with tracing enabled and render the executor's steps —
+  per-subformula materializations with their column frames and live row
+  counts, joins, filters, universe widenings.
 
 >>> from repro.logic import Structure, Vocabulary
 >>> from repro.logic.dsl import Rel, exists
@@ -20,11 +24,83 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from .plan import (
+    AtomScan,
+    CompareScan,
+    ConstBind,
+    Extend,
+    Filter,
+    Plan,
+    Union,
+    plan_children,
+    plan_depth,
+    plan_nodes,
+)
+from .printer import format_term
 from .relational import RelationalEvaluator
 from .structure import Structure
 from .syntax import Formula
 
-__all__ = ["explain", "plan_events"]
+__all__ = ["explain", "plan_events", "render_plan"]
+
+
+def _describe_node(node: Plan) -> str:
+    kind = type(node).__name__
+    if isinstance(node, AtomScan):
+        args = ", ".join(format_term(a) for a in node.args)
+        kind = f"AtomScan {node.rel}({args})" + (" [direct]" if node.direct else "")
+    elif isinstance(node, CompareScan):
+        kind = (
+            f"CompareScan {format_term(node.left)} "
+            f"{node.op} {format_term(node.right)}"
+        )
+    elif isinstance(node, ConstBind):
+        kind = f"ConstBind {node.columns[0]} = {format_term(node.term)}"
+    elif isinstance(node, Filter):
+        kind = "Filter" + (" NOT" if node.negated else "")
+    elif isinstance(node, Extend):
+        kind = f"Extend +({', '.join(node.fresh)})"
+    elif isinstance(node, Union):
+        kind = f"Union of {len(node.parts)}"
+    cols = f"({', '.join(node.columns)})" if node.columns else "()"
+    label = f"  <- {node.label}" if node.label else ""
+    return f"{kind} -> {cols}{label}"
+
+
+def render_plan(plan: Plan, max_nodes: int = 400) -> str:
+    """Render a compiled physical plan as an indented tree.
+
+    Purely static — needs no structure or data; this is exactly what the
+    plan cache replays per request.  Shared subplans (evaluated once per
+    update by the executors) are printed in full the first time and
+    referenced as ``= #k`` afterwards.
+    """
+    nodes = plan_nodes(plan)
+    widest = max(len(node.columns) for node in nodes)
+    lines = [
+        f"plan: {len(nodes)} nodes, depth {plan_depth(plan)}, "
+        f"widest {widest} columns"
+    ]
+    numbered: dict[int, int] = {}
+    shown = 0
+
+    def rec(node: Plan, depth: int) -> None:
+        nonlocal shown
+        indent = "  " * depth
+        if id(node) in numbered:
+            lines.append(f"{indent}= #{numbered[id(node)]} (shared)")
+            return
+        numbered[id(node)] = len(numbered) + 1
+        shown += 1
+        if shown > max_nodes:
+            lines.append(f"{indent}...")
+            return
+        lines.append(f"{indent}#{numbered[id(node)]} {_describe_node(node)}")
+        for child in plan_children(node):
+            rec(child, depth + 1)
+
+    rec(plan, 0)
+    return "\n".join(lines)
 
 
 def plan_events(

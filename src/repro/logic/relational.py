@@ -1,21 +1,23 @@
 """Database-style evaluation of first-order formulas.
 
-This is the default engine used by the Dyn-FO machinery.  It compiles a
-formula bottom-up into finite relations (sets of tuples over named columns),
-using the classic relational-algebra toolkit:
+This is the default engine used by the Dyn-FO machinery.  Since PR 2 it is a
+*plan executor*: :func:`repro.logic.plan.compile_formula` normalizes a
+formula and fixes a greedy join order **once**, and this module replays the
+resulting physical plan against the current structure — sets of tuples over
+named columns, joined with the classic relational-algebra toolkit:
 
-* relation atoms and numeric predicates materialize directly;
-* conjunction runs a greedy join plan — cheap conjuncts are materialized and
-  hash-joined, and any conjunct whose variables are already bound is applied
-  as a per-row *filter* (so negations and universal guards never materialize
-  huge complements);
-* conjunction distributes over disjunction, and quantifiers push into
-  disjunctions, so that every joined block stays narrow;
-* existential quantification is projection; universal quantification is
-  rewritten as a negated existential.
+* atom and numeric-predicate scans materialize directly (an atom that is
+  exactly a stored relation is borrowed zero-copy; a fully ground atom is an
+  O(1) membership probe);
+* conjunctions execute the compiled join order — cheap conjuncts are
+  hash-joined, and any conjunct whose variables are already bound runs as a
+  per-row *filter* (so negations and universal guards never materialize huge
+  complements), with empty intermediates short-circuiting the chain;
+* existential quantification is projection; universal quantification was
+  compiled away as a negated existential.
 
-The engine is exact (tested against :func:`repro.logic.evaluation.holds` on
-random formulas) and is typically orders of magnitude faster than naive
+The executor is exact (tested against :func:`repro.logic.evaluation.holds`
+on random formulas) and is typically orders of magnitude faster than naive
 enumeration on the update formulas of the paper.
 """
 
@@ -26,33 +28,37 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from .evaluation import EvaluationError, eval_term, holds
-from .structure import Structure
-from .syntax import (
-    And,
-    Atom,
-    Bit,
-    Eq,
-    Exists,
-    FalseF,
-    Forall,
-    Formula,
-    Iff,
-    Implies,
-    Le,
-    Lt,
-    Not,
-    Or,
-    Term,
-    TrueF,
-    Var,
+from .plan import (
+    AtomScan,
+    CompareScan,
+    Complement,
+    ConstBind,
+    EmptyScan,
+    Extend,
+    Filter,
+    HashJoin,
+    Plan,
+    Project,
+    Union,
+    UnitScan,
+    cached_plan,
 )
-from .transform import free_vars, quantifier_rank
+from .structure import Structure
+from .syntax import Formula, Var
+from .transform import free_vars
 
 __all__ = ["Relation", "RelationalEvaluator", "query"]
 
 # Refuse to materialize relations larger than this many rows; it means a
 # formula was written in a shape the planner cannot keep narrow.
 DEFAULT_MAX_ROWS = 20_000_000
+
+_COMPARE_TESTS = {
+    "eq": lambda a, b: a == b,
+    "le": lambda a, b: a <= b,
+    "lt": lambda a, b: a < b,
+    "bit": lambda a, b: bool((a >> b) & 1),
+}
 
 
 @dataclass
@@ -113,10 +119,12 @@ class Relation:
 
 
 class RelationalEvaluator:
-    """Evaluates formulas against one fixed structure (and update params).
+    """Executes compiled plans against one fixed structure (and params).
 
-    Results are memoized per formula object, so create one evaluator per
-    update step and reuse it for every update formula of that step.
+    Node results are memoized per plan-node object, so create one evaluator
+    per update step and reuse it for every update formula of that step —
+    plan nodes shared between formulas (a guard used by several definitions)
+    are then evaluated once.
     """
 
     def __init__(
@@ -130,12 +138,12 @@ class RelationalEvaluator:
         self.params = dict(params) if params else {}
         self.max_rows = max_rows
         # optional plan trace: (depth, event, columns, rows) tuples appended
-        # as the planner works — see repro.logic.explain
+        # as the executor works — see repro.logic.explain
         self.trace = trace
         self._depth = 0
-        # id-keyed to avoid re-hashing deep formula trees; the formula object
-        # is pinned in the value so its id cannot be recycled.
-        self._cache: dict[int, tuple[Formula, Relation]] = {}
+        # id-keyed to avoid hashing plan trees; the node is pinned in the
+        # value so its id cannot be recycled.
+        self._results: dict[int, tuple[Plan, Relation]] = {}
 
     def _record(self, event: str, relation: Relation | None = None) -> None:
         if self.trace is not None:
@@ -150,18 +158,19 @@ class RelationalEvaluator:
         missing = free_vars(formula) - set(frame)
         if missing:
             raise EvaluationError(f"frame {frame} does not bind {sorted(missing)}")
-        relation = self._eval(formula)
-        for var in frame:
-            if var not in relation.vars:
-                relation = relation.extend(var, self.structure.universe)
-                self._check_size(relation)
-        return relation.project(tuple(frame)).rows
+        return self.execute(cached_plan(formula, tuple(frame)))
 
     def truth(self, sentence: Formula) -> bool:
         """Truth value of a sentence (no free variables)."""
         if free_vars(sentence):
             raise EvaluationError("truth() requires a sentence")
-        return bool(self._eval(sentence).rows)
+        return bool(self._exec(cached_plan(sentence, ())).rows)
+
+    def execute(self, plan: Plan) -> set[tuple[int, ...]]:
+        """Run a compiled plan; returns a fresh set of result rows."""
+        # copy at the boundary: the memoized relation may borrow a live
+        # structure view (direct atom scan) or be shared between plans
+        return set(self._exec(plan).rows)
 
     # -- helpers -------------------------------------------------------------
 
@@ -173,322 +182,182 @@ class RelationalEvaluator:
             )
         return relation
 
-    def _resolve(self, term: Term) -> int | None:
-        """Value of a constant-like term, or None for a variable."""
-        if isinstance(term, Var):
-            return None
+    def _value(self, term) -> int:
         return eval_term(term, self.structure, {}, self.params)
 
     # -- core dispatch --------------------------------------------------------
 
-    def _eval(self, formula: Formula) -> Relation:
-        cached = self._cache.get(id(formula))
+    def _exec(self, plan: Plan) -> Relation:
+        cached = self._results.get(id(plan))
         if cached is not None:
-            self._record(f"cached {type(formula).__name__}", cached[1])
+            self._record(f"cached {plan.label or type(plan).__name__}", cached[1])
             return cached[1]
         self._depth += 1
         try:
-            result = self._eval_uncached(formula)
+            result = self._exec_node(plan)
         finally:
             self._depth -= 1
         self._check_size(result)
-        self._cache[id(formula)] = (formula, result)
-        self._record(type(formula).__name__, result)
+        self._results[id(plan)] = (plan, result)
+        self._record(plan.label or type(plan).__name__, result)
         return result
 
-    def _eval_uncached(self, formula: Formula) -> Relation:
-        if isinstance(formula, TrueF):
+    def _exec_node(self, plan: Plan) -> Relation:
+        if isinstance(plan, UnitScan):
             return Relation.unit()
-        if isinstance(formula, FalseF):
-            return Relation.empty()
-        if isinstance(formula, Atom):
-            return self._eval_atom(formula)
-        if isinstance(formula, (Eq, Le, Lt)):
-            return self._eval_comparison(formula)
-        if isinstance(formula, Bit):
-            return self._eval_bit(formula)
-        if isinstance(formula, Implies):
-            return self._eval(Or.of(Not(formula.left), formula.right))
-        if isinstance(formula, Iff):
-            return self._eval(
-                Or.of(
-                    And.of(formula.left, formula.right),
-                    And.of(Not(formula.left), Not(formula.right)),
-                )
+        if isinstance(plan, EmptyScan):
+            return Relation.empty(plan.columns)
+        if isinstance(plan, AtomScan):
+            return self._exec_atom(plan)
+        if isinstance(plan, CompareScan):
+            return self._exec_compare(plan)
+        if isinstance(plan, ConstBind):
+            value = self._value(plan.term)
+            if 0 <= value < self.structure.n:
+                return Relation(plan.columns, {(value,)})
+            return Relation.empty(plan.columns)
+        if isinstance(plan, HashJoin):
+            return self._exec_join(plan)
+        if isinstance(plan, Filter):
+            return self._exec_filter(plan)
+        if isinstance(plan, Project):
+            source = self._exec(plan.source)
+            return Relation(
+                plan.columns,
+                {tuple(row[p] for p in plan.positions) for row in source.rows},
             )
-        if isinstance(formula, Forall):
-            return self._eval(Not(Exists(formula.vars, Not(formula.body))))
-        if isinstance(formula, Exists):
-            body = formula.body
-            if isinstance(body, Or):
-                # push the quantifier into the disjunction to keep arms narrow
-                return self._eval(
-                    Or.of(*(Exists(formula.vars, part) for part in body.parts))
+        if isinstance(plan, Extend):
+            relation = self._exec(plan.source)
+            for var in plan.fresh:
+                relation = self._check_size(
+                    relation.extend(var, self.structure.universe)
                 )
-            inner = self._eval(body)
-            keep = tuple(v for v in inner.vars if v not in formula.vars)
-            return inner.project(keep)
-        if isinstance(formula, Or):
-            return self._eval_or(formula)
-        if isinstance(formula, And):
-            return self._eval_and(formula)
-        if isinstance(formula, Not):
-            return self._eval_not(formula)
-        raise TypeError(f"unknown formula node {formula!r}")  # pragma: no cover
+            return relation
+        if isinstance(plan, Complement):
+            return self._exec_complement(plan)
+        if isinstance(plan, Union):
+            out: set[tuple[int, ...]] = set()
+            for part in plan.parts:
+                out |= self._exec(part).rows
+            return Relation(plan.columns, out)
+        raise TypeError(f"unknown plan node {plan!r}")  # pragma: no cover
 
     # -- leaves ---------------------------------------------------------------
 
-    def _eval_atom(self, atom: Atom) -> Relation:
-        rows = self.structure.relation_view(atom.rel)
-        fixed: list[tuple[int, int]] = []  # (position, required value)
-        var_positions: dict[str, list[int]] = {}
-        out_vars: list[str] = []
-        for position, arg in enumerate(atom.args):
-            value = self._resolve(arg)
-            if value is not None:
-                fixed.append((position, value))
-            else:
-                assert isinstance(arg, Var)
-                if arg.name not in var_positions:
-                    var_positions[arg.name] = []
-                    out_vars.append(arg.name)
-                var_positions[arg.name].append(position)
+    def _exec_atom(self, plan: AtomScan) -> Relation:
+        view = self.structure.relation_view(plan.rel)
+        if plan.direct:
+            # borrowed zero-copy view: never mutated by the executor, and
+            # copied at the execute()/rows() boundary
+            return Relation(plan.columns, view)
+        fixed = [(pos, self._value(term)) for pos, term in plan.fixed]
+        if not plan.var_cols:
+            # fully ground atom: O(1) membership instead of a full scan
+            probe = tuple(value for _, value in sorted(fixed))
+            return Relation.unit() if probe in view else Relation.empty()
         out_rows: set[tuple[int, ...]] = set()
-        for row in rows:
+        for row in view:
             if any(row[pos] != value for pos, value in fixed):
                 continue
             ok = True
-            for positions in var_positions.values():
+            for _, positions in plan.var_cols:
                 first = row[positions[0]]
                 if any(row[p] != first for p in positions[1:]):
                     ok = False
                     break
             if ok:
-                out_rows.add(tuple(row[var_positions[v][0]] for v in out_vars))
-        return Relation(tuple(out_vars), out_rows)
+                out_rows.add(tuple(row[pos[0]] for _, pos in plan.var_cols))
+        return Relation(plan.columns, out_rows)
 
-    def _eval_comparison(self, formula: Eq | Le | Lt) -> Relation:
-        test = {
-            Eq: lambda a, b: a == b,
-            Le: lambda a, b: a <= b,
-            Lt: lambda a, b: a < b,
-        }[type(formula)]
-        return self._binary_numeric(formula.left, formula.right, test)
-
-    def _eval_bit(self, formula: Bit) -> Relation:
-        return self._binary_numeric(
-            formula.number, formula.index, lambda a, b: bool((a >> b) & 1)
-        )
-
-    def _binary_numeric(self, left: Term, right: Term, test) -> Relation:
-        lval, rval = self._resolve(left), self._resolve(right)
+    def _exec_compare(self, plan: CompareScan) -> Relation:
+        test = _COMPARE_TESTS[plan.op]
         universe = self.structure.universe
-        if lval is not None and rval is not None:
+        left_var = isinstance(plan.left, Var)
+        right_var = isinstance(plan.right, Var)
+        if not left_var and not right_var:
+            lval, rval = self._value(plan.left), self._value(plan.right)
             return Relation.unit() if test(lval, rval) else Relation.empty()
-        if lval is not None:
-            assert isinstance(right, Var)
-            return Relation(
-                (right.name,), {(b,) for b in universe if test(lval, b)}
-            )
-        if rval is not None:
-            assert isinstance(left, Var)
-            return Relation((left.name,), {(a,) for a in universe if test(a, rval)})
-        assert isinstance(left, Var) and isinstance(right, Var)
-        if left.name == right.name:
-            return Relation(
-                (left.name,), {(a,) for a in universe if test(a, a)}
-            )
+        if not left_var:
+            lval = self._value(plan.left)
+            return Relation(plan.columns, {(b,) for b in universe if test(lval, b)})
+        if not right_var:
+            rval = self._value(plan.right)
+            return Relation(plan.columns, {(a,) for a in universe if test(a, rval)})
+        if len(plan.columns) == 1:  # same variable on both sides
+            return Relation(plan.columns, {(a,) for a in universe if test(a, a)})
         return Relation(
-            (left.name, right.name),
+            plan.columns,
             {(a, b) for a in universe for b in universe if test(a, b)},
         )
 
-    # -- connectives ------------------------------------------------------------
+    # -- compound nodes ---------------------------------------------------------
 
-    def _eval_or(self, formula: Or) -> Relation:
-        frame = tuple(sorted(free_vars(formula)))
-        out_rows: set[tuple[int, ...]] = set()
-        for part in formula.parts:
-            relation = self._eval(part)
-            for var in frame:
-                if var not in relation.vars:
-                    relation = self._check_size(
-                        relation.extend(var, self.structure.universe)
-                    )
-            out_rows |= relation.project(frame).rows
-        return Relation(frame, out_rows)
+    def _exec_join(self, plan: HashJoin) -> Relation:
+        left = self._exec(plan.left)
+        if not left.rows:
+            return Relation.empty(plan.columns)
+        joined = left.join(self._exec(plan.right))
+        if joined.vars != plan.columns:  # join ordered by the smaller side
+            joined = joined.project(plan.columns)
+        return joined
 
-    def _eval_not(self, formula: Not) -> Relation:
-        frame = tuple(sorted(free_vars(formula)))
+    def _exec_filter(self, plan: Filter) -> Relation:
+        source = self._exec(plan.source)
+        if not source.rows:
+            return source
+        try:
+            condition = self._exec(plan.condition)
+        except EvaluationError:
+            if plan.fallback is None:
+                raise
+            # the condition's shape is too hostile to materialize under the
+            # size guard; test per row via the reference oracle instead
+            out_rows = {
+                row
+                for row in source.rows
+                if holds(
+                    plan.fallback,
+                    self.structure,
+                    dict(zip(source.vars, row)),
+                    self.params,
+                )
+            }
+            return Relation(plan.columns, out_rows)
+        if not condition.vars:
+            # boolean guard, evaluated once: keep all rows or none
+            satisfied = bool(condition.rows) != plan.negated
+            return source if satisfied else Relation.empty(plan.columns)
+        allowed = condition.rows
+        positions = plan.positions
+        if plan.negated:
+            out_rows = {
+                row
+                for row in source.rows
+                if tuple(row[p] for p in positions) not in allowed
+            }
+        else:
+            out_rows = {
+                row
+                for row in source.rows
+                if tuple(row[p] for p in positions) in allowed
+            }
+        return Relation(plan.columns, out_rows)
+
+    def _exec_complement(self, plan: Complement) -> Relation:
+        width = len(plan.columns)
         n = self.structure.n
-        if n ** len(frame) > self.max_rows:
+        if n**width > self.max_rows:
             raise EvaluationError(
-                f"complement over {len(frame)} columns of a size-{n} universe "
+                f"complement over {width} columns of a size-{n} universe "
                 "is too large; let the conjunction planner bind it first"
             )
-        inner = self._eval(formula.body).project(frame)
+        inner = self._exec(plan.source)
         rows = {
             row
-            for row in itertools.product(range(n), repeat=len(frame))
+            for row in itertools.product(range(n), repeat=width)
             if row not in inner.rows
         }
-        return Relation(frame, rows)
-
-    # -- conjunction planning -----------------------------------------------------
-
-    def _eval_and(self, formula: And) -> Relation:
-        conjuncts = list(formula.parts)
-        # Distribute over wide disjunctive conjuncts only: narrow ones (<= 2
-        # columns) materialize cheaply and join directly, while distributing
-        # every disjunction cascades into exponentially many arms.
-        for i, part in enumerate(conjuncts):
-            disjunction = self._as_or(part)
-            if disjunction is not None and len(free_vars(part)) >= 3:
-                rest = conjuncts[:i] + conjuncts[i + 1 :]
-                self._record(
-                    f"distribute over {len(disjunction.parts)}-arm Or"
-                )
-                return self._eval(
-                    Or.of(*(And.of(arm, *rest) for arm in disjunction.parts))
-                )
-        cur = Relation.unit()
-        remaining = conjuncts
-        while remaining:
-            bound = set(cur.vars)
-            filters = [c for c in remaining if free_vars(c) <= bound]
-            if filters:
-                cur = self._filter(cur, filters)
-                self._record(f"filter x{len(filters)}", cur)
-                remaining = [c for c in remaining if c not in filters]
-                continue
-            generator = self._pick_generator(remaining, bound)
-            if generator is not None:
-                cur = self._check_size(cur.join(self._eval(generator)))
-                self._record("join", cur)
-                remaining = [c for c in remaining if c is not generator]
-                continue
-            # Only unmaterializable conjuncts (negations) with unbound
-            # variables remain: widen by the most-demanded variable.
-            var = self._most_demanded_var(remaining, bound)
-            cur = self._check_size(cur.extend(var, self.structure.universe))
-            self._record(f"widen by {var}", cur)
-        return cur
-
-    @staticmethod
-    def _as_or(part: Formula) -> Or | None:
-        if isinstance(part, Or):
-            return part
-        if isinstance(part, Implies):
-            rewritten = Or.of(Not(part.left), part.right)
-            return rewritten if isinstance(rewritten, Or) else None
-        if isinstance(part, Iff):
-            return Or(
-                (
-                    And.of(part.left, part.right),
-                    And.of(Not(part.left), Not(part.right)),
-                )
-            )
-        return None
-
-    def _filter(self, cur: Relation, conjuncts: list[Formula]) -> Relation:
-        """Keep rows of ``cur`` satisfying every (fully bound) conjunct.
-
-        Narrow conjuncts (<= 2 columns) are materialized once (memoized) and
-        applied as semijoins; wide ones are tested per row via the naive
-        evaluator, which never materializes anything.
-        """
-        structure, params = self.structure, self.params
-        # Sentences (no free variables) are guards: evaluate each exactly
-        # once — a false guard empties the result, a true one disappears.
-        # Quantifier-free narrow conjuncts always materialize cheaply.  A
-        # *quantified* narrow conjunct is a judgement call: per-row naive
-        # evaluation costs |rows| * n^rank, materializing costs one relational
-        # evaluation — so materialize once the row count is large enough to
-        # amortize it, and fall back to per-row testing if the evaluator
-        # refuses (size guard) because the conjunct's shape is pathological.
-        narrow: list[Formula] = []
-        wide: list[Formula] = []
-        for conjunct in conjuncts:
-            arity = len(free_vars(conjunct))
-            if arity == 0:
-                if not self._guard_truth(conjunct):
-                    return Relation(cur.vars, set())
-            elif arity <= 2 and (
-                quantifier_rank(conjunct) == 0 or len(cur.rows) > 64
-            ):
-                narrow.append(conjunct)
-            else:
-                wide.append(conjunct)
-        semijoins: list[tuple[tuple[int, ...], set[tuple[int, ...]]]] = []
-        for conjunct in narrow:
-            frame = tuple(sorted(free_vars(conjunct)))
-            positions = tuple(cur.vars.index(v) for v in frame)
-            try:
-                semijoins.append((positions, self.rows(conjunct, frame)))
-            except EvaluationError:
-                wide.append(conjunct)  # shape too hostile; test per row
-        out_rows: set[tuple[int, ...]] = set()
-        for row in cur.rows:
-            if any(
-                tuple(row[p] for p in positions) not in allowed
-                for positions, allowed in semijoins
-            ):
-                continue
-            if wide:
-                assignment = dict(zip(cur.vars, row))
-                if not all(holds(c, structure, assignment, params) for c in wide):
-                    continue
-            out_rows.add(row)
-        return Relation(cur.vars, out_rows)
-
-    def _guard_truth(self, sentence: Formula) -> bool:
-        """Truth of a zero-free-variable conjunct, memoized per formula.
-
-        Negated guards are routed through their body so that e.g. ``~swap``
-        and ``swap`` share one evaluation."""
-        if isinstance(sentence, Not):
-            return not self._guard_truth(sentence.body)
-        return bool(self._eval(sentence).rows)
-
-    def _estimate(self, formula: Formula) -> float:
-        n = self.structure.n
-        if isinstance(formula, Atom):
-            return self.structure.cardinality(formula.rel)
-        if isinstance(formula, Eq):
-            return 1.0 if self._resolve(formula.left) is not None or self._resolve(
-                formula.right
-            ) is not None else float(n)
-        if isinstance(formula, (Le, Lt, Bit)):
-            return float(n * n)
-        if isinstance(formula, TrueF):
-            return 1.0
-        if isinstance(formula, FalseF):
-            return 0.0
-        # quantified / compound conjunct: pessimistic in its width
-        return float(n) ** len(free_vars(formula)) + float(n)
-
-    def _pick_generator(
-        self, remaining: list[Formula], bound: set[str]
-    ) -> Formula | None:
-        # negations and universals only shrink; never generate from them
-        candidates = [
-            c for c in remaining if not isinstance(c, (Not, Forall))
-        ]
-        if not candidates:
-            return None
-        if bound:
-            sharing = [c for c in candidates if free_vars(c) & bound]
-            if sharing:
-                candidates = sharing
-        return min(candidates, key=self._estimate)
-
-    @staticmethod
-    def _most_demanded_var(remaining: list[Formula], bound: set[str]) -> str:
-        counts: dict[str, int] = {}
-        for conjunct in remaining:
-            for var in free_vars(conjunct) - bound:
-                counts[var] = counts.get(var, 0) + 1
-        return max(sorted(counts), key=lambda v: counts[v])
+        return Relation(plan.columns, rows)
 
 
 def query(

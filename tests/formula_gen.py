@@ -32,16 +32,19 @@ VARS = ("x", "y", "z", "u", "v")
 UNIVERSE = 4  # keep the naive evaluator honest but fast
 
 
-def terms(max_lit: int = UNIVERSE) -> st.SearchStrategy:
+def terms(
+    max_lit: int = UNIVERSE, extra_consts: tuple[str, ...] = ()
+) -> st.SearchStrategy:
+    names = ("s", "t", "min", "max") + tuple(extra_consts)
     return st.one_of(
         st.sampled_from(VARS).map(lambda name: name),
-        st.sampled_from(["s", "t", "min", "max"]).map(Const),
+        st.sampled_from(names).map(Const),
         st.integers(0, max_lit - 1).map(Lit),
     )
 
 
-def _leaves() -> st.SearchStrategy:
-    term = terms()
+def _leaves(extra_consts: tuple[str, ...] = ()) -> st.SearchStrategy:
+    term = terms(extra_consts=extra_consts)
     return st.one_of(
         st.builds(lambda a, b: Atom("E", (a, b)), term, term),
         st.builds(lambda a: Atom("U", (a,)), term),
@@ -52,8 +55,14 @@ def _leaves() -> st.SearchStrategy:
     )
 
 
-def formulas(max_depth: int = 4) -> st.SearchStrategy:
-    """Random formulas; free variables are always within VARS."""
+def formulas(
+    max_depth: int = 4, extra_consts: tuple[str, ...] = ()
+) -> st.SearchStrategy:
+    """Random formulas; free variables are always within VARS.
+
+    ``extra_consts`` adds symbolic constants beyond the vocabulary's —
+    e.g. update-parameter names resolved via the evaluators' ``params``
+    mapping rather than the structure."""
 
     def extend(children: st.SearchStrategy) -> st.SearchStrategy:
         quantified = st.builds(
@@ -71,7 +80,7 @@ def formulas(max_depth: int = 4) -> st.SearchStrategy:
             quantified,
         )
 
-    return st.recursive(_leaves(), extend, max_leaves=8)
+    return st.recursive(_leaves(extra_consts), extend, max_leaves=8)
 
 
 @st.composite

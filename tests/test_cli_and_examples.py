@@ -26,6 +26,43 @@ class TestCli:
     def test_verify_unknown_program(self, capsys):
         assert main(["verify", "nope"]) == 2
 
+    def test_verify_with_max_rows(self, capsys):
+        assert (
+            main(
+                ["verify", "parity", "--n", "6", "--steps", "10",
+                 "--max-rows", "100000"]
+            )
+            == 0
+        )
+        assert "verified" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "reach_u", "--rule", "insert:E"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled plans" in out and "AtomScan" in out
+
+    def test_explain_query_filter(self, capsys):
+        assert main(["explain", "reach_u", "--query", "reach"]) == 0
+        out = capsys.readouterr().out
+        assert "query :: reach" in out and "insert:E" not in out
+
+    def test_explain_dense_backend(self, capsys):
+        assert main(["explain", "parity", "--backend", "dense"]) == 0
+        assert "backend 'dense'" in capsys.readouterr().out
+
+    def test_explain_unknown(self, capsys):
+        assert main(["explain", "nope"]) == 2
+        assert main(["explain", "reach_u", "--rule", "insert:Q"]) == 2
+
+    def test_bench_json_quick(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--bench-json", str(out), "--quick-json"]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "plan_cache"
+        assert set(payload["programs"]) == {"reach_u", "dyck", "multiplication"}
+
     def test_bench_single(self, capsys):
         assert main(["bench", "E18"]) == 0
         assert "Bounded expansion" in capsys.readouterr().out
