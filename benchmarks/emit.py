@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Emit the machine-readable plan-cache benchmark: BENCH_plan_cache.json.
+"""Emit the machine-readable benchmarks: BENCH_plan_cache.json and, with
+``--service``, the serving-layer E22 payload BENCH_service.json.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/emit.py                  # full run
     PYTHONPATH=src python benchmarks/emit.py --quick          # CI smoke
     PYTHONPATH=src python benchmarks/emit.py --no-baseline    # skip git arm
+    PYTHONPATH=src python benchmarks/emit.py --service        # E22 payload
 
 Equivalent to ``dynfo bench --bench-json BENCH_plan_cache.json``; the
-measurement kernels live in :mod:`repro.bench.plan_cache` so both entry
-points emit identical payloads.  See that module for what the arms mean.
+measurement kernels live in :mod:`repro.bench.plan_cache` and
+:mod:`repro.bench.service` so every entry point emits identical payloads.
+See those modules for what the arms mean.
 """
 
 from __future__ import annotations
@@ -51,7 +54,31 @@ def main(argv=None) -> int:
         default=64,
         help="universe size for the reach_u headline comparison",
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="emit the serving-layer E22 payload (BENCH_service.json) "
+        "instead of the plan-cache one",
+    )
     args = parser.parse_args(argv)
+    if args.service:
+        from repro.bench.service import collect as collect_service
+        from repro.bench.service import write_json as write_service_json
+
+        out = args.out
+        if out == "BENCH_plan_cache.json":  # the plan-cache default
+            out = "BENCH_service.json"
+        payload = collect_service(quick=args.quick)
+        path = write_service_json(out, payload)
+        headline = payload["read_fanout"].get("headline", {})
+        if "speedup_x" in headline:
+            print(
+                f"reach_u hot reads, {headline['clients']} clients: "
+                f"{headline['speedup_x']}x vs serial "
+                f"({headline['serial_rps']} -> {headline['fanout_rps']} req/s)"
+            )
+        print(f"wrote {path}")
+        return 0
     payload = collect(
         quick=args.quick,
         baseline_rev=None if args.no_baseline else args.baseline_rev,

@@ -1,0 +1,97 @@
+"""E22 — Serving-layer smoke: fan-out, collapsing, and group commit work.
+
+Marked ``quick`` so CI can run it without pytest-benchmark as a regression
+tripwire for the serving layer (``pytest benchmarks -m quick``).  These
+tests assert *mechanisms* — reads collapse, batches share fsyncs, every
+client sees consistent answers — never wall-clock ratios, which belong to
+the machine-readable BENCH_service.json (``python benchmarks/emit.py
+--service``).
+"""
+
+import threading
+
+import pytest
+
+from repro.bench.service import _warm_script, collect
+from repro.dynfo.requests import Delete, Insert
+from repro.service import DynFOService, ServiceClient
+
+pytestmark = pytest.mark.quick
+
+
+def test_warm_script_is_connected_and_queryable():
+    service = DynFOService()
+    client = ServiceClient(service)
+    client.open("w", "reach_u", n=16)
+    client.apply_script("w", _warm_script(16))
+    # the ring alone connects everything; chords only add edges
+    assert client.ask("w", "reach", s=0, t=15)
+    rows = client.query("w", "connected")
+    assert len(rows) == 16 * 15  # every ordered pair of distinct nodes
+    service.close()
+
+
+def test_concurrent_identical_reads_collapse():
+    service = DynFOService(read_workers=8)
+    client = ServiceClient(service)
+    client.open("c", "reach_u", n=24)
+    client.apply_script("c", _warm_script(24))
+
+    answers, errors = [], []
+
+    def hammer():
+        try:
+            local = ServiceClient(service)
+            for _ in range(4):
+                answers.append(len(local.query("c", "connected")))
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert len(set(answers)) == 1  # everyone saw the same relation
+    stats = client.stats("c")["c"]
+    assert stats["reads_collapsed"] > 0
+    assert stats["reads"] >= 24
+    service.close()
+
+
+def test_batched_writes_share_fsyncs(tmp_path):
+    service = DynFOService(data_dir=tmp_path, max_batch=64)
+    client = ServiceClient(service)
+    client.open("b", "reach_u", n=16)
+    edges = [(i, (i + 5) % 16) for i in range(10)]
+
+    client.apply_script("b", [Insert("E", a, b) for a, b in edges])
+    stats = client.stats("b")["b"]
+    assert stats["batches"] == 1  # one contiguous script -> one group commit
+    assert stats["batch_size_max"] == len(edges)
+    assert stats["journal"]["fsyncs"] == 1
+    assert stats["journal"]["appends"] == len(edges)
+
+    client.apply_script("b", [Delete("E", a, b) for a, b in edges])
+    stats = client.stats("b")["b"]
+    assert stats["batches"] == 2
+    assert stats["journal"]["fsyncs"] == 2
+    service.close()
+
+
+def test_quick_payload_shape():
+    """The emitted payload carries the fields the trajectory tracking and
+    the acceptance check read."""
+    payload = collect(quick=True)
+    assert payload["experiment"] == "E22"
+    headline = payload["read_fanout"]["headline"]
+    assert set(headline) >= {"clients", "serial_rps", "fanout_rps", "speedup_x"}
+    assert headline["speedup_x"] > 0
+    hot = [a for a in payload["read_fanout"]["arms"] if a["mode"] == "hot"]
+    assert any(a["reads_collapsed_delta"] > 0 for a in hot if a["clients"] > 1)
+    batches = payload["write_batch"]
+    assert batches[0]["batch_size"] < batches[-1]["batch_size"]
+    # group commit: bigger batches, fewer fsyncs per request
+    assert batches[-1]["fsyncs_per_request"] < batches[0]["fsyncs_per_request"]

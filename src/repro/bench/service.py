@@ -1,0 +1,269 @@
+"""Machine-readable serving-layer benchmark E22 (``BENCH_service.json``).
+
+Two sweeps against a live NDJSON/TCP server hosting one warmed ``reach_u``
+session:
+
+``read_fanout``
+    Aggregate read throughput as real client *processes* scale (1, 2, 4,
+    8), in two arms.  The ``hot`` arm hammers the expensive unbound
+    ``connected`` query — every client asks the same question of the same
+    structure version, so the scheduler's singleflight collapsing serves
+    the fan-out from one evaluation per version; aggregate throughput
+    scales with client count even on a single core.  The ``point`` arm
+    cycles cheap distinct ``ask reach`` probes — nothing collapses, so it
+    shows the connection/scheduling overhead floor instead.
+
+``write_batch``
+    Per-request write cost as one client chunks the same request stream
+    into ``apply_script`` batches of size 1, 4, 16, 32.  Group commit
+    shares one journal fsync per batch; the ``fsyncs_per_request`` column
+    is the amortization made visible.
+
+Emit with ``python benchmarks/emit.py --service`` (or ``--quick`` for the
+CI smoke variant).  The headline — hot-arm throughput at max clients over
+the single-client serial baseline — is the acceptance number for the
+serving layer: >= 2x on a warmed session.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from ..dynfo.requests import Delete, Insert
+from ..service import DynFOServer, DynFOService, TCPServiceClient
+
+__all__ = ["collect", "write_json"]
+
+
+def _warm_script(n: int):
+    """A connected-ish graph: a ring plus chords, so ``reach`` is busy and
+    ``connected`` has plenty of rows."""
+    requests = [Insert("E", i, i + 1) for i in range(n - 1)]
+    requests.append(Insert("E", n - 1, 0))
+    requests.extend(Insert("E", i, (i + n // 2) % n) for i in range(0, n, 7))
+    return requests
+
+
+def _read_client(
+    port: int,
+    session: str,
+    mode: str,
+    n: int,
+    duration: float,
+    barrier,
+    results,
+    index: int,
+) -> None:
+    """One client process: spin on reads for ``duration`` seconds after the
+    shared barrier, then report how many completed."""
+    with TCPServiceClient(port=port) as client:
+        if mode == "hot":
+            frames = [
+                {"op": "query", "session": session, "name": "connected", "params": {}}
+            ]
+        else:
+            frames = [
+                {
+                    "op": "ask",
+                    "session": session,
+                    "name": "reach",
+                    "params": {"s": s, "t": (s + n // 2) % n},
+                }
+                for s in range(index, n, 3)
+            ]
+        client.request(dict(frames[0]))  # warm the connection and the plans
+        barrier.wait()
+        deadline = time.perf_counter() + duration
+        done = 0
+        while time.perf_counter() < deadline:
+            client.request(dict(frames[done % len(frames)]))
+            done += 1
+        results.put((index, done))
+
+
+def _run_fanout_arm(
+    port: int, session: str, mode: str, n: int, clients: int, duration: float
+) -> dict:
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(clients + 1)
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_read_client,
+            args=(port, session, mode, n, duration, barrier, results, i),
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    for proc in procs:
+        proc.start()
+    barrier.wait()
+    started = time.perf_counter()
+    counts = [results.get(timeout=duration + 60.0) for _ in procs]
+    elapsed = time.perf_counter() - started
+    for proc in procs:
+        proc.join(timeout=30.0)
+    total = sum(count for _, count in counts)
+    return {
+        "mode": mode,
+        "clients": clients,
+        "duration_s": round(elapsed, 3),
+        "requests": total,
+        "throughput_rps": round(total / elapsed, 1) if elapsed else 0.0,
+    }
+
+
+def _measure_read_fanout(
+    port: int, session: str, stats, n: int, client_counts, duration: float
+) -> dict:
+    out: dict = {"arms": []}
+    for mode in ("hot", "point"):
+        before = stats()
+        for clients in client_counts:
+            arm = _run_fanout_arm(port, session, mode, n, clients, duration)
+            after = stats()
+            arm["reads_collapsed_delta"] = (
+                after["reads_collapsed"] - before["reads_collapsed"]
+            )
+            before = after
+            out["arms"].append(arm)
+    hot = {a["clients"]: a for a in out["arms"] if a["mode"] == "hot"}
+    base = hot.get(min(hot))
+    peak = hot.get(max(hot))
+    if base and peak and base["throughput_rps"]:
+        out["headline"] = {
+            "metric": "hot read throughput, max clients vs serial",
+            "clients": peak["clients"],
+            "serial_rps": base["throughput_rps"],
+            "fanout_rps": peak["throughput_rps"],
+            "speedup_x": round(peak["throughput_rps"] / base["throughput_rps"], 2),
+        }
+    return out
+
+
+def _measure_write_batches(
+    client: TCPServiceClient, session: str, stats, total: int, batch_sizes
+) -> list[dict]:
+    """Chunked insert/delete churn on a *sparse* session — reach_u deletes
+    on dense graphs are orders of magnitude pricier (spanning-forest
+    repair), which would drown the fsync amortization being measured."""
+    out = []
+    edges = [(i % 23, (i * 7 + 3) % 23) for i in range(total)]
+    for batch in batch_sizes:
+        # insert then delete the same edges: state returns to baseline, so
+        # every batch size measures the same work
+        requests = []
+        for a, b in edges:
+            requests.append(Insert("E", a, b))
+        for a, b in edges:
+            requests.append(Delete("E", a, b))
+        before = stats()
+        started = time.perf_counter()
+        for i in range(0, len(requests), batch):
+            client.apply_script(session, requests[i : i + batch])
+        elapsed = time.perf_counter() - started
+        after = stats()
+        applied = len(requests)
+        fsyncs = after["journal"]["fsyncs"] - before["journal"]["fsyncs"]
+        out.append(
+            {
+                "batch_size": batch,
+                "requests": applied,
+                "per_request_us": round(elapsed / applied * 1e6, 1),
+                "fsyncs": fsyncs,
+                "fsyncs_per_request": round(fsyncs / applied, 4),
+            }
+        )
+    return out
+
+
+def collect(quick: bool = False) -> dict:
+    """Run both sweeps against a fresh server and return the payload."""
+    n = 32 if quick else 96
+    write_n = 24 if quick else 32
+    duration = 0.4 if quick else 2.0
+    client_counts = [1, 4] if quick else [1, 2, 4, 8]
+    write_total = 8 if quick else 24
+    batch_sizes = [1, 8] if quick else [1, 4, 16, 32]
+    session = "bench-read"
+    write_session = "bench-write"
+
+    with tempfile.TemporaryDirectory(prefix="dynfo-e22-") as tmp:
+        service = DynFOService(
+            data_dir=Path(tmp), read_workers=8, max_batch=64, max_queue_depth=1024
+        )
+        server = DynFOServer(port=0, service=service)
+        server.serve_in_background()
+        try:
+            client = TCPServiceClient(port=server.port)
+            client.open(session, "reach_u", n=n)
+            # warming a large dense universe takes minutes of update work;
+            # exempt it from the serving deadline meant for live traffic
+            client.apply_script(session, _warm_script(n), deadline_ms=600_000)
+            client.open(write_session, "reach_u", n=write_n)
+
+            def stats(name: str = session) -> dict:
+                return client.stats(name)[name]
+
+            connected_rows = len(client.query(session, "connected"))
+            read_fanout = _measure_read_fanout(
+                server.port, session, stats, n, client_counts, duration
+            )
+            write_batch = _measure_write_batches(
+                client,
+                write_session,
+                lambda: stats(write_session),
+                write_total,
+                batch_sizes,
+            )
+            final = stats()
+            client.close()
+        finally:
+            server.stop(snapshot=False)
+
+    return {
+        "experiment": "E22",
+        "benchmark": "serving layer: read fan-out and write batching (reach_u)",
+        "quick": quick,
+        "config": {
+            "n": n,
+            "write_n": write_n,
+            "connected_rows": connected_rows,
+            "duration_s": duration,
+            "client_counts": client_counts,
+            "write_requests_per_arm": write_total * 2,
+            "batch_sizes": batch_sizes,
+        },
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "read_fanout": read_fanout,
+        "write_batch": write_batch,
+        "session_stats": {
+            "reads": final["reads"],
+            "reads_collapsed": final["reads_collapsed"],
+            "writes": final["writes"],
+            "batches": final["batches"],
+            "batch_size_max": final["batch_size_max"],
+            "plan_cache": final["plan_cache"],
+        },
+    }
+
+
+def write_json(path: str | Path, payload: dict) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(json.dumps(collect(quick="--quick" in sys.argv), indent=2))

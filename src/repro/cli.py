@@ -18,6 +18,13 @@ Subcommands
     the static view of what every update/query executes.
 ``demo``
     A tiny REACH_u session showing the update formulas at work.
+``serve [--host H] [--port P] [--data-dir DIR] ...``
+    Host the concurrent multi-session serving layer over NDJSON/TCP
+    (see docs/TUTORIAL.md Sec. 8).
+``client ACTION [...]``
+    Talk to a running server: ``ping``, ``open``, ``ins``, ``del``,
+    ``set``, ``ask``, ``query``, ``stats``, ``sessions``, ``save``,
+    ``close``, or ``pipe`` (NDJSON frames from stdin).
 """
 
 from __future__ import annotations
@@ -270,6 +277,130 @@ def _cmd_demo(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import DynFOServer, DynFOService, serve_forever
+
+    # SIGTERM (systemd, docker stop, plain `kill`) shuts down as cleanly
+    # as Ctrl-C: snapshot durable sessions before exiting.
+    signal.signal(signal.SIGTERM, signal.default_int_handler)
+
+    service = DynFOService(
+        data_dir=args.data_dir,
+        max_sessions=args.max_sessions,
+        read_workers=args.read_workers,
+        max_batch=args.max_batch,
+        max_queue_depth=args.max_queue,
+        default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+    )
+    server = DynFOServer(host=args.host, port=args.port, service=service)
+    durability = f"durable under {args.data_dir}" if args.data_dir else "in-memory"
+    print(
+        f"dynfo service on {args.host}:{server.port} ({durability}; "
+        f"max {args.max_sessions} sessions, {args.read_workers} read workers, "
+        f"batches up to {args.max_batch}); Ctrl-C to stop",
+        flush=True,
+    )
+    serve_forever(server)
+    print("stopped; sessions snapshotted" if args.data_dir else "stopped")
+    return 0
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for pair in pairs:
+        name, eq, value = pair.partition("=")
+        if not eq or not name:
+            raise SystemExit(f"expected name=value, got {pair!r}")
+        try:
+            params[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"param {name!r} needs an int, got {value!r}") from None
+    return params
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .dynfo.errors import EngineError
+    from .dynfo.requests import Delete, Insert, SetConst
+    from .service import TCPServiceClient
+    from .service.protocol import decode_frame, encode_frame
+
+    def need(count: int, usage: str) -> Sequence[str]:
+        if len(args.args) < count:
+            raise SystemExit(f"usage: client {args.action} {usage}")
+        return args.args
+
+    deadline = args.deadline_ms
+    try:
+        with TCPServiceClient(host=args.host, port=args.port) as client:
+            action = args.action
+            if action == "ping":
+                print(client.ping())
+            elif action == "sessions":
+                print("\n".join(client.sessions()) or "(no sessions)")
+            elif action == "stats":
+                which = args.args[0] if args.args else None
+                print(json.dumps(client.stats(which), indent=2, sort_keys=True))
+            elif action == "open":
+                rest = need(1, "SESSION [PROGRAM N]")
+                name = rest[0]
+                program = rest[1] if len(rest) > 1 else None
+                n = int(rest[2]) if len(rest) > 2 else None
+                print(json.dumps(client.open(name, program, n=n), sort_keys=True))
+            elif action in ("ins", "del"):
+                rest = need(3, "SESSION REL ELEM [ELEM ...]")
+                cls = Insert if action == "ins" else Delete
+                request = cls(rest[1], tuple(int(v) for v in rest[2:]))
+                result = client.apply(rest[0], request, deadline_ms=deadline)
+                print(json.dumps(result, sort_keys=True))
+            elif action == "set":
+                rest = need(3, "SESSION NAME VALUE")
+                result = client.apply(
+                    rest[0], SetConst(rest[1], int(rest[2])), deadline_ms=deadline
+                )
+                print(json.dumps(result, sort_keys=True))
+            elif action == "ask":
+                rest = need(2, "SESSION QUERY [name=value ...]")
+                params = _parse_params(rest[2:])
+                print(
+                    client.ask(rest[0], rest[1], deadline_ms=deadline, **params)
+                )
+            elif action == "query":
+                rest = need(2, "SESSION QUERY [name=value ...]")
+                params = _parse_params(rest[2:])
+                rows = client.query(rest[0], rest[1], deadline_ms=deadline, **params)
+                for row in sorted(rows):
+                    print(" ".join(map(str, row)))
+            elif action == "save":
+                rest = need(1, "SESSION")
+                print(json.dumps(client.save(rest[0]), sort_keys=True))
+            elif action == "close":
+                rest = need(1, "SESSION")
+                print(json.dumps(client.close_session(rest[0]), sort_keys=True))
+            elif action == "pipe":
+                # raw NDJSON passthrough: frames on stdin, responses on stdout
+                for line in sys.stdin:
+                    if not line.strip():
+                        continue
+                    response = client.call(decode_frame(line))
+                    sys.stdout.write(encode_frame(response).decode("utf-8"))
+                    sys.stdout.flush()
+            else:  # pragma: no cover - argparse choices guard this
+                raise SystemExit(f"unknown action {action!r}")
+    except EngineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"cannot reach {args.host}:{args.port}: {error}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dynfo",
@@ -368,6 +499,81 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="print REACH_u's formulas, run a session").set_defaults(
         fn=_cmd_demo
     )
+
+    serve = sub.add_parser(
+        "serve", help="host engine sessions over NDJSON/TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for durable sessions (journal + snapshot per "
+        "session); omit for in-memory sessions",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, help="session table size"
+    )
+    serve.add_argument(
+        "--read-workers", type=int, default=8, help="reader thread pool size"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most writes one group-commit batch may coalesce",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="per-session admission limit (queued-or-running requests)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30000.0,
+        help="default per-request deadline (0 = none)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
+
+    client = sub.add_parser("client", help="talk to a running server")
+    client.add_argument(
+        "action",
+        choices=[
+            "ping",
+            "open",
+            "ins",
+            "del",
+            "set",
+            "ask",
+            "query",
+            "stats",
+            "sessions",
+            "save",
+            "close",
+            "pipe",
+        ],
+        help="what to do",
+    )
+    client.add_argument(
+        "args",
+        nargs="*",
+        help="action arguments, e.g. 'open chat reach_u 16', "
+        "'ins chat E 0 1', 'ask chat reach s=0 t=5'",
+    )
+    client.add_argument("--host", default="127.0.0.1", help="server address")
+    client.add_argument("--port", type=int, default=8642, help="server port")
+    client.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline sent with writes and reads",
+    )
+    client.set_defaults(fn=_cmd_client)
     return parser
 
 

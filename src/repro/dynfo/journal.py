@@ -12,6 +12,15 @@ engine commits the corresponding batch (classic WAL ordering) and fsync'd
 so an acknowledged request survives power loss.  :func:`recover` tolerates
 a torn final line (a crash mid-append) but treats corruption anywhere else
 as a hard :class:`~.errors.JournalError`.
+
+Group commit: with ``fsync=False`` the journal defers durability to an
+explicit :meth:`RequestJournal.sync`, so a caller applying a *batch* of
+requests pays one fsync for the whole batch instead of one per request
+(the serving layer's write coalescing, and
+:meth:`~.engine.DynFOEngine.apply_many`).  The invariant callers must keep
+is the usual one: never acknowledge a request to its submitter until a
+``sync()`` covering its append has returned.  ``fsync_count`` /
+``append_count`` expose how well the amortization is working.
 """
 
 from __future__ import annotations
@@ -36,9 +45,13 @@ class RequestJournal:
         self.path = Path(path)
         self._fsync = fsync
         self._fh = open(self.path, "a", encoding="utf-8")
+        self.append_count = 0
+        self.fsync_count = 0
 
     def append(self, seq: int, request: Request) -> None:
-        """Durably record that request ``seq`` was accepted."""
+        """Record that request ``seq`` was accepted; durable immediately
+        under the default per-append fsync policy, at the next :meth:`sync`
+        otherwise."""
         if self._fh.closed:
             raise JournalError(f"journal {self.path} is closed")
         line = json.dumps(
@@ -46,11 +59,27 @@ class RequestJournal:
         )
         self._fh.write(line + "\n")
         self._fh.flush()
+        self.append_count += 1
         if self._fsync:
             os.fsync(self._fh.fileno())
+            self.fsync_count += 1
+
+    def sync(self) -> None:
+        """Force appended entries to stable storage (the group-commit
+        durability point for journals opened with ``fsync=False``)."""
+        if self._fh.closed:
+            raise JournalError(f"journal {self.path} is closed")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.fsync_count += 1
 
     def close(self) -> None:
         if not self._fh.closed:
+            if self.append_count and not self._fsync:
+                try:
+                    self.sync()
+                except (OSError, JournalError):  # pragma: no cover
+                    pass
             self._fh.close()
 
     def __enter__(self) -> "RequestJournal":

@@ -17,6 +17,7 @@ constants (the paper's ``a``, ``b``); the engine binds them per request.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
@@ -41,6 +42,11 @@ __all__ = [
 
 class ProgramError(ValueError):
     """Raised on malformed Dyn-FO programs."""
+
+
+# Guards the per-program (backend, n) -> CompiledProgram map; plan compilation
+# itself is serialized by each CompiledProgram's own lock.
+_COMPILE_CACHE_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -129,6 +135,11 @@ class CompiledProgram:
     ``(backend, n)``, so the cache key for a plan is effectively
     ``(rule, backend, n)``.  Engines sharing a program instance share its
     compiled plans (and stats).
+
+    Thread-safe: the serving layer fans read queries out across a thread
+    pool, so cache lookups — and the hit/miss counters they bump — can race.
+    A single lock guards both maps and all counters; :meth:`stats` returns
+    an atomic snapshot.
     """
 
     def __init__(self, program: "DynFOProgram", backend: str, n: int) -> None:
@@ -141,54 +152,59 @@ class CompiledProgram:
         # id-keyed with the rule pinned so the id stays valid
         self._rules: dict[int, tuple[UpdateRule, CompiledRule]] = {}
         self._queries: dict[str, Plan] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.compile_ns = 0
 
     def rule_plans(self, rule: UpdateRule) -> CompiledRule:
         """The compiled plans for ``rule``, compiling on first request."""
-        entry = self._rules.get(id(rule))
-        if entry is not None:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
-        started = time.perf_counter_ns()
-        compiled = CompiledRule(
-            temporaries=tuple(
-                (d.name, compile_formula(d.formula, d.frame, distribute=self._distribute))
-                for d in rule.temporaries
-            ),
-            definitions=tuple(
-                (d.name, compile_formula(d.formula, d.frame, distribute=self._distribute))
-                for d in rule.definitions
-            ),
-        )
-        self.compile_ns += time.perf_counter_ns() - started
-        self._rules[id(rule)] = (rule, compiled)
-        return compiled
+        with self._lock:
+            entry = self._rules.get(id(rule))
+            if entry is not None:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            started = time.perf_counter_ns()
+            compiled = CompiledRule(
+                temporaries=tuple(
+                    (d.name, compile_formula(d.formula, d.frame, distribute=self._distribute))
+                    for d in rule.temporaries
+                ),
+                definitions=tuple(
+                    (d.name, compile_formula(d.formula, d.frame, distribute=self._distribute))
+                    for d in rule.definitions
+                ),
+            )
+            self.compile_ns += time.perf_counter_ns() - started
+            self._rules[id(rule)] = (rule, compiled)
+            return compiled
 
     def query_plan(self, query: "Query") -> Plan:
         """The compiled plan for a named query, compiling on first request."""
-        plan = self._queries.get(query.name)
-        if plan is not None:
-            self.hits += 1
+        with self._lock:
+            plan = self._queries.get(query.name)
+            if plan is not None:
+                self.hits += 1
+                return plan
+            self.misses += 1
+            started = time.perf_counter_ns()
+            plan = compile_formula(
+                query.formula, query.frame, distribute=self._distribute
+            )
+            self.compile_ns += time.perf_counter_ns() - started
+            self._queries[query.name] = plan
             return plan
-        self.misses += 1
-        started = time.perf_counter_ns()
-        plan = compile_formula(
-            query.formula, query.frame, distribute=self._distribute
-        )
-        self.compile_ns += time.perf_counter_ns() - started
-        self._queries[query.name] = plan
-        return plan
 
     def stats(self) -> dict[str, int]:
-        """Cache counters: ``hits``, ``misses``, and total ``compile_ns``."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "compile_ns": self.compile_ns,
-        }
+        """Cache counters: ``hits``, ``misses``, and total ``compile_ns``,
+        snapshotted atomically (safe to call from concurrent readers)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "compile_ns": self.compile_ns,
+            }
 
 
 @dataclass(frozen=True)
@@ -356,20 +372,23 @@ class DynFOProgram:
 
         Returns the same :class:`CompiledProgram` on every call with the same
         key, so rule plans are compiled exactly once per (rule, backend, n)
-        no matter how many requests — or engines — exercise them.
+        no matter how many requests — or engines — exercise them.  Guarded by
+        a lock so concurrent sessions over one program instance can never
+        race two caches into existence for the same key.
         """
-        cache: dict[tuple[str, int], CompiledProgram] | None = getattr(
-            self, "_compiled", None
-        )
-        if cache is None:
-            cache = {}
-            self._compiled = cache
-        key = (backend, n)
-        compiled = cache.get(key)
-        if compiled is None:
-            compiled = CompiledProgram(self, backend, n)
-            cache[key] = compiled
-        return compiled
+        with _COMPILE_CACHE_LOCK:
+            cache: dict[tuple[str, int], CompiledProgram] | None = getattr(
+                self, "_compiled", None
+            )
+            if cache is None:
+                cache = {}
+                self._compiled = cache
+            key = (backend, n)
+            compiled = cache.get(key)
+            if compiled is None:
+                compiled = CompiledProgram(self, backend, n)
+                cache[key] = compiled
+            return compiled
 
     # -- metrics --------------------------------------------------------------
 

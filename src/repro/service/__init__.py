@@ -1,0 +1,44 @@
+"""The concurrent multi-session serving layer.
+
+Hosts many named :class:`~..dynfo.engine.DynFOEngine` sessions behind a
+single-writer / parallel-reader scheduler with group-commit durability,
+admission control, and live metrics — reachable in-process
+(:class:`ServiceClient`), over NDJSON/TCP (:class:`DynFOServer` +
+:class:`TCPServiceClient`), or from the command line (``repro serve`` /
+``repro client``).  See docs/TUTORIAL.md §8 and docs/DESIGN.md §5c.
+"""
+
+from .client import ServiceClient, TCPServiceClient
+from .errors import (
+    OverloadError,
+    ProtocolError,
+    ServiceError,
+    SessionError,
+    WIRE_CODES,
+    code_for,
+    error_from_wire,
+    error_to_wire,
+)
+from .scheduler import Scheduler
+from .server import DynFOServer, serve_forever
+from .service import DynFOService
+from .session import Session, SessionManager
+
+__all__ = [
+    "DynFOService",
+    "DynFOServer",
+    "serve_forever",
+    "ServiceClient",
+    "TCPServiceClient",
+    "SessionManager",
+    "Session",
+    "Scheduler",
+    "ServiceError",
+    "ProtocolError",
+    "SessionError",
+    "OverloadError",
+    "WIRE_CODES",
+    "code_for",
+    "error_to_wire",
+    "error_from_wire",
+]

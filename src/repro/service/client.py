@@ -1,0 +1,233 @@
+"""Clients for the serving layer.
+
+Two transports, one API:
+
+* :class:`ServiceClient` wraps a :class:`~.service.DynFOService` in-process
+  — no sockets, same dispatch and error paths, which makes it the honest
+  test double and the zero-setup way to script a service.
+* :class:`TCPServiceClient` speaks the NDJSON protocol over a socket to a
+  :class:`~.server.DynFOServer` (or ``repro serve``).
+
+Both raise the *typed* exception the server reported: an
+``OverloadError`` on the server is an ``OverloadError`` in the caller,
+rebuilt from its stable wire code by :func:`~.errors.error_from_wire`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Sequence
+
+from ..dynfo.requests import Request, request_to_item
+from .errors import ProtocolError, ServiceError, error_from_wire
+from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame, rows_from_wire
+
+__all__ = ["ServiceClient", "TCPServiceClient"]
+
+
+class _BaseClient:
+    """The op vocabulary, shared by both transports.
+
+    Subclasses implement :meth:`call` (send one frame, return the decoded
+    response frame); everything else is sugar over it.
+    """
+
+    def call(self, item: dict) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def request(self, item: dict) -> Any:
+        """Send one frame and unwrap it: result on ``ok``, typed raise on
+        error."""
+        response = self.call(item)
+        if not isinstance(response, dict):
+            raise ProtocolError(f"malformed response: {response!r}")
+        if response.get("ok"):
+            return response.get("result")
+        raise error_from_wire(response.get("error"))
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.request({"op": "ping"})
+
+    def open(
+        self,
+        session: str,
+        program: str | None = None,
+        *,
+        n: int | None = None,
+        backend: str | None = None,
+        durable: bool | None = None,
+        audit_every: int = 0,
+    ) -> dict:
+        item: dict = {"op": "open", "session": session}
+        if program is not None:
+            item["program"] = program
+        if n is not None:
+            item["n"] = n
+        if backend is not None:
+            item["backend"] = backend
+        if durable is not None:
+            item["durable"] = durable
+        if audit_every:
+            item["audit_every"] = audit_every
+        return self.request(item)
+
+    def apply(
+        self, session: str, request: Request, deadline_ms: float | None = None
+    ) -> dict:
+        item: dict = {
+            "op": "apply",
+            "session": session,
+            "request": request_to_item(request),
+        }
+        if deadline_ms is not None:
+            item["deadline_ms"] = deadline_ms
+        return self.request(item)
+
+    def apply_script(
+        self,
+        session: str,
+        script: Iterable[Request],
+        deadline_ms: float | None = None,
+    ) -> dict:
+        item: dict = {
+            "op": "apply_script",
+            "session": session,
+            "script": [request_to_item(request) for request in script],
+        }
+        if deadline_ms is not None:
+            item["deadline_ms"] = deadline_ms
+        result = self.request(item)
+        if result.get("errors"):
+            first = result["errors"][0]
+            raise error_from_wire(first["error"])
+        return result
+
+    def ask(
+        self,
+        session: str,
+        name: str,
+        deadline_ms: float | None = None,
+        **params: int,
+    ) -> bool:
+        item: dict = {"op": "ask", "session": session, "name": name, "params": params}
+        if deadline_ms is not None:
+            item["deadline_ms"] = deadline_ms
+        return bool(self.request(item))
+
+    def query(
+        self,
+        session: str,
+        name: str,
+        deadline_ms: float | None = None,
+        **params: int,
+    ) -> set[tuple[int, ...]]:
+        item: dict = {"op": "query", "session": session, "name": name, "params": params}
+        if deadline_ms is not None:
+            item["deadline_ms"] = deadline_ms
+        return rows_from_wire(self.request(item))
+
+    def stats(self, session: str | None = None) -> dict:
+        item: dict = {"op": "stats"}
+        if session is not None:
+            item["session"] = session
+        return self.request(item)
+
+    def sessions(self) -> list[str]:
+        return self.request({"op": "sessions"})
+
+    def save(self, session: str) -> dict:
+        return self.request({"op": "save", "session": session})
+
+    def close_session(self, session: str, snapshot: bool = True) -> dict:
+        return self.request(
+            {"op": "close", "session": session, "snapshot": snapshot}
+        )
+
+
+class ServiceClient(_BaseClient):
+    """In-process client: frames go straight to ``service.handle``."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self._next_id = 0
+
+    def call(self, item: dict) -> dict:
+        self._next_id += 1
+        return self.service.handle({"id": self._next_id, **item})
+
+
+class TCPServiceClient(_BaseClient):
+    """Socket client for the NDJSON protocol.
+
+    Not thread-safe: one instance per client thread/process (the protocol
+    itself allows pipelining by ``id``, but this client sends one request
+    at a time)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout: float | None = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb", buffering=MAX_FRAME_BYTES + 2)
+        self._next_id = 0
+
+    def call(self, item: dict) -> dict:
+        self._next_id += 1
+        frame = {"id": self._next_id, **item}
+        self._sock.sendall(encode_frame(frame))
+        line = self._rfile.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ServiceError(
+                f"server at {self.host}:{self.port} closed the connection"
+            )
+        response = decode_frame(line)
+        rid = response.get("id")
+        if rid is not None and rid != frame["id"]:
+            raise ProtocolError(
+                f"response id {rid!r} does not match request id {frame['id']!r}"
+            )
+        return response
+
+    def pipeline(self, items: Sequence[dict]) -> list[dict]:
+        """Send every frame before reading any response (id-matched).
+
+        This is what lets one connection keep the server busy; the
+        benchmark's batch arm uses it to measure coalescing."""
+        ids = []
+        payload = bytearray()
+        for item in items:
+            self._next_id += 1
+            ids.append(self._next_id)
+            payload += encode_frame({"id": self._next_id, **item})
+        self._sock.sendall(bytes(payload))
+        responses = []
+        for expected in ids:
+            line = self._rfile.readline(MAX_FRAME_BYTES + 2)
+            if not line:
+                raise ServiceError(
+                    f"server at {self.host}:{self.port} closed mid-pipeline"
+                )
+            response = decode_frame(line)
+            rid = response.get("id")
+            if rid is not None and rid != expected:
+                raise ProtocolError(
+                    f"pipelined response id {rid!r}, expected {expected!r}"
+                )
+            responses.append(response)
+        return responses
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "TCPServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,136 @@
+"""Service-side errors and the stable wire-code registry.
+
+The serving layer must never leak a raw traceback to a client: every
+failure crosses the wire as ``{"code": ..., "error": ..., "message": ...}``
+with a *stable* code clients can switch on.  The registry below maps the
+whole :class:`~..dynfo.errors.EngineError` taxonomy (plus the service's own
+errors) to codes, and back — :func:`error_to_wire` on the server,
+:func:`error_from_wire` in the clients, so a
+:class:`~..dynfo.errors.RequestValidationError` raised inside the engine
+re-materializes as a ``RequestValidationError`` in the caller's process.
+
+Service-specific classes:
+
+* :class:`ServiceError` — base class; also what a client raises for an
+  unrecognized (future) wire code.
+* :class:`ProtocolError` — a malformed frame (bad JSON, missing fields,
+  unknown op).  The connection stays usable; only the offending request
+  fails.
+* :class:`SessionError` — unknown session name, a name that collides with
+  an active session of a different shape, or an invalid name.
+* :class:`OverloadError` — admission control said no: session table full,
+  per-session queue depth exceeded, or a request outlived its deadline
+  while queued.  The request was *not* applied; clients may back off and
+  retry.
+"""
+
+from __future__ import annotations
+
+from ..dynfo.engine import UnsupportedRequest
+from ..dynfo.errors import (
+    EngineError,
+    IntegrityError,
+    JournalError,
+    RequestValidationError,
+    UpdateError,
+)
+from ..dynfo.persistence import PersistenceError
+from ..dynfo.requests import request_to_item
+
+__all__ = [
+    "ServiceError",
+    "ProtocolError",
+    "SessionError",
+    "OverloadError",
+    "WIRE_CODES",
+    "code_for",
+    "error_to_wire",
+    "error_from_wire",
+]
+
+
+class ServiceError(EngineError):
+    """Base class for serving-layer failures."""
+
+
+class ProtocolError(ServiceError):
+    """The frame itself was malformed (bad JSON, missing field, unknown
+    op).  Scoped to one request; the connection stays usable."""
+
+
+class SessionError(ServiceError):
+    """The named session does not exist, already exists with a different
+    shape, or the name itself is invalid."""
+
+
+class OverloadError(ServiceError):
+    """Admission control rejected the request (full session table, full
+    queue, or deadline exceeded while queued).  Nothing was applied."""
+
+
+# Stable wire codes, most specific class first: ``code_for`` walks an
+# exception's MRO and returns the first registered class, so subclasses
+# added later inherit their parent's code rather than leaking INTERNAL.
+_CODE_TABLE: tuple[tuple[str, type[Exception]], ...] = (
+    ("OVERLOADED", OverloadError),
+    ("SESSION_ERROR", SessionError),
+    ("PROTOCOL_ERROR", ProtocolError),
+    ("SERVICE_ERROR", ServiceError),
+    ("UNSUPPORTED_REQUEST", UnsupportedRequest),
+    ("REQUEST_INVALID", RequestValidationError),
+    ("UPDATE_FAILED", UpdateError),
+    ("INTEGRITY_VIOLATION", IntegrityError),
+    ("JOURNAL_CORRUPT", JournalError),
+    ("SNAPSHOT_CORRUPT", PersistenceError),
+    ("ENGINE_ERROR", EngineError),
+)
+
+#: code -> exception class, the client-side decode table.
+WIRE_CODES: dict[str, type[Exception]] = {code: cls for code, cls in _CODE_TABLE}
+
+_CLASS_TO_CODE: dict[type[Exception], str] = {cls: code for code, cls in _CODE_TABLE}
+
+#: catch-all for exceptions outside the taxonomy; message only, no traceback.
+INTERNAL_CODE = "INTERNAL_ERROR"
+
+
+def code_for(error: BaseException) -> str:
+    """The stable wire code for ``error`` (most specific registered
+    ancestor wins; anything unregistered is ``INTERNAL_ERROR``)."""
+    for cls in type(error).__mro__:
+        code = _CLASS_TO_CODE.get(cls)
+        if code is not None:
+            return code
+    return INTERNAL_CODE
+
+
+def error_to_wire(error: BaseException) -> dict:
+    """Serialize ``error`` for the wire: stable ``code``, exception class
+    name, and message — never a traceback.  IntegrityError's minimized
+    repro script rides along so a client can file it."""
+    wire = {
+        "code": code_for(error),
+        "error": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, IntegrityError):
+        if error.detail:
+            wire["detail"] = error.detail
+        if error.repro:
+            wire["repro"] = [request_to_item(r) for r in error.repro]
+    return wire
+
+
+def error_from_wire(wire: dict) -> Exception:
+    """Rebuild a typed exception from its wire form (the client half).
+
+    Unknown codes — a newer server — decode to :class:`ServiceError`, so
+    old clients still fail typed instead of crashing on the decode."""
+    if not isinstance(wire, dict):
+        return ServiceError(f"malformed error payload: {wire!r}")
+    cls = WIRE_CODES.get(wire.get("code", ""), ServiceError)
+    message = wire.get("message", "") or wire.get("error", "unknown error")
+    error = cls(f"[{wire.get('code', INTERNAL_CODE)}] {message}")
+    if isinstance(error, IntegrityError) and "detail" in wire:
+        error.detail = wire["detail"]
+    return error

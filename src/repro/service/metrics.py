@@ -1,0 +1,131 @@
+"""Live counters for the serving layer.
+
+One :class:`SessionMetrics` per hosted session and one
+:class:`ServiceMetrics` for the process, all guarded by per-object locks so
+the thread-pool readers, the coalescing writer, and a concurrent ``stats``
+request never tear a snapshot.  Everything is exposed through the ``stats``
+wire op (see TUTORIAL §8); the snapshot dicts are plain JSON-able data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["SessionMetrics", "ServiceMetrics"]
+
+
+class SessionMetrics:
+    """Per-session counters: traffic, batching, queueing, collapsing."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reads = 0
+        self.writes = 0
+        self.reads_collapsed = 0  # served by joining an in-flight identical read
+        self.errors = 0
+        self.overloads = 0
+        self.batches = 0
+        self.batch_requests = 0
+        self.batch_size_max = 0
+        self.queue_wait_ns = 0
+        self.queue_wait_ns_max = 0
+        self.read_ns = 0
+        self.write_ns = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_read(self, wait_ns: int, exec_ns: int, collapsed: bool = False) -> None:
+        with self._lock:
+            self.reads += 1
+            if collapsed:
+                self.reads_collapsed += 1
+            self._record_wait(wait_ns)
+            self.read_ns += exec_ns
+
+    def record_batch(self, size: int, exec_ns: int) -> None:
+        """One coalesced write batch of ``size`` requests was committed."""
+        with self._lock:
+            self.batches += 1
+            self.batch_requests += size
+            self.batch_size_max = max(self.batch_size_max, size)
+            self.write_ns += exec_ns
+
+    def record_write(self, wait_ns: int, ok: bool) -> None:
+        with self._lock:
+            self.writes += 1
+            self._record_wait(wait_ns)
+            if not ok:
+                self.errors += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_overload(self) -> None:
+        with self._lock:
+            self.overloads += 1
+
+    def _record_wait(self, wait_ns: int) -> None:
+        self.queue_wait_ns += wait_ns
+        self.queue_wait_ns_max = max(self.queue_wait_ns_max, wait_ns)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """An atomic, JSON-able view of the counters."""
+        with self._lock:
+            requests = self.reads + self.writes
+            return {
+                "requests": requests,
+                "reads": self.reads,
+                "reads_collapsed": self.reads_collapsed,
+                "writes": self.writes,
+                "errors": self.errors,
+                "overloads": self.overloads,
+                "batches": self.batches,
+                "batch_size_max": self.batch_size_max,
+                "batch_size_avg": (
+                    round(self.batch_requests / self.batches, 3) if self.batches else 0.0
+                ),
+                "queue_wait_us_avg": (
+                    round(self.queue_wait_ns / requests / 1e3, 1) if requests else 0.0
+                ),
+                "queue_wait_us_max": round(self.queue_wait_ns_max / 1e3, 1),
+                "read_us_total": round(self.read_ns / 1e3, 1),
+                "write_us_total": round(self.write_ns / 1e3, 1),
+            }
+
+
+class ServiceMetrics:
+    """Process-wide counters for the front end."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests = 0
+        self.errors = 0
+        self.protocol_errors = 0
+        self.internal_errors = 0
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_error(self, code: str) -> None:
+        with self._lock:
+            self.errors += 1
+            if code == "PROTOCOL_ERROR":
+                self.protocol_errors += 1
+            elif code == "INTERNAL_ERROR":
+                self.internal_errors += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "requests": self.requests,
+                "errors": self.errors,
+                "protocol_errors": self.protocol_errors,
+                "internal_errors": self.internal_errors,
+            }

@@ -1,0 +1,94 @@
+"""The newline-delimited-JSON wire protocol.
+
+One request per line, one response per line, both UTF-8 JSON objects::
+
+    -> {"id": 7, "op": "ask", "session": "chat", "name": "reach",
+        "params": {"s": 0, "t": 5}}
+    <- {"id": 7, "ok": true, "result": true}
+    <- {"id": 8, "ok": false, "error": {"code": "OVERLOADED", ...}}
+
+``id`` is optional and echoed verbatim so clients may pipeline.  Requests
+ride the journal's item format (:func:`~..dynfo.requests.request_to_item`),
+so a wire ``apply`` carries exactly what a journal line carries.  Relation
+results cross as sorted lists of lists — deterministic bytes for the same
+relation, which is what lets collapsed reads share one serialized result.
+
+Framing problems raise :class:`~.errors.ProtocolError`, which the server
+answers typed (code ``PROTOCOL_ERROR``) without dropping the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .errors import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "decode_frame",
+    "encode_frame",
+    "rows_to_wire",
+    "rows_from_wire",
+    "get_field",
+]
+
+#: Upper bound on one frame; a line longer than this is an attack or a bug.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One response/request as a compact JSON line."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one frame; malformed input is a typed :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"frame is not UTF-8: {error}") from error
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not JSON: {error}") from error
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def rows_to_wire(rows: set[tuple[int, ...]]) -> list[list[int]]:
+    """A relation as deterministic JSON: sorted list of lists."""
+    return [list(row) for row in sorted(rows)]
+
+
+def rows_from_wire(rows: Any) -> set[tuple[int, ...]]:
+    """Inverse of :func:`rows_to_wire` (client side)."""
+    if not isinstance(rows, list):
+        raise ProtocolError(f"relation result must be a list, got {rows!r}")
+    return {tuple(row) for row in rows}
+
+
+def get_field(item: dict, field: str, kind: type, required: bool = True) -> Any:
+    """Fetch a typed field from a frame, raising :class:`ProtocolError`
+    with a stable message shape when missing or mistyped."""
+    if field not in item:
+        if required:
+            raise ProtocolError(f"op {item.get('op')!r} needs a {field!r} field")
+        return None
+    value = item[field]
+    if kind is int and isinstance(value, bool):
+        raise ProtocolError(f"field {field!r} must be {kind.__name__}, got bool")
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {field!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value

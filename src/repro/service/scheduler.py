@@ -1,0 +1,342 @@
+"""The scheduler: single-writer / parallel-reader execution per session.
+
+Every Dyn-FO update is one constant-depth parallel step over the *previous*
+structure (Definition 3.1), which forces a total order on writes per
+session — but says nothing about reads, which are pure first-order queries
+over whatever structure version is current.  The scheduler realizes exactly
+that split:
+
+* **Writes** funnel through a per-session queue.  Whichever submitting
+  thread wins the drain lock commits *everything* queued at that moment as
+  one coalesced batch — each request still goes through the engine's
+  transactional ``begin_batch()`` apply, but the batch shares a single
+  journal fsync (group commit) and a single writer-lock acquisition.
+  Submitters are only acknowledged after the batch's sync, so the WAL
+  invariant (ACK implies durable) holds per request while the fsync cost
+  amortizes per batch.  Under load, batch sizes grow by themselves: while
+  one batch commits, the queue refills.
+
+* **Reads** fan out across a thread pool under the shared side of the
+  session's readers-writer lock.  Identical in-flight reads — same session,
+  same structure version, same query, same parameters — *collapse*: one
+  evaluation runs and every concurrent asker shares its result (and its
+  serialized form).  Collapsing keys on the structure version, so it is
+  invisible to read-your-writes ordering: a client that just committed
+  version v can only collapse onto evaluations at version >= v.
+
+* **Admission control** bounds the damage of overload: at most
+  ``max_queue_depth`` requests may be queued-or-running per session, and a
+  request that waits in queue past its deadline is rejected with
+  :class:`~.errors.OverloadError` *before* it consumes evaluation work.
+  Callers see a typed, retryable error instead of a hung socket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Hashable, Sequence
+
+from ..dynfo.errors import EngineError, JournalError
+from ..dynfo.requests import Request
+from .errors import OverloadError
+from .session import Session
+
+__all__ = ["Scheduler", "WriteOutcome"]
+
+
+class WriteOutcome:
+    """What happened to one queued write: either ``stats`` (applied) or
+    ``error`` (typed; the structure is untouched for this request)."""
+
+    __slots__ = ("request", "stats", "error", "enqueued_ns", "deadline", "done")
+
+    def __init__(self, request: Request, deadline: float | None = None) -> None:
+        self.request = request
+        self.stats: dict[str, int] | None = None
+        self.error: Exception | None = None
+        self.enqueued_ns = time.monotonic_ns()
+        self.deadline = deadline
+        self.done = threading.Event()
+
+    @property
+    def wait_ns(self) -> int:
+        return time.monotonic_ns() - self.enqueued_ns
+
+
+class _InFlightRead:
+    """A leader's evaluation that concurrent identical reads wait on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Exception | None = None
+
+
+class Scheduler:
+    """Coalesces writes and fans out reads for any number of sessions."""
+
+    def __init__(
+        self,
+        read_workers: int = 8,
+        max_batch: int = 64,
+        max_queue_depth: int = 256,
+        default_deadline: float | None = 30.0,
+    ) -> None:
+        if read_workers < 1:
+            raise ValueError(f"read_workers must be >= 1, got {read_workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.read_workers = read_workers
+        self.max_batch = max_batch
+        self.max_queue_depth = max_queue_depth
+        self.default_deadline = default_deadline
+        self._pool = ThreadPoolExecutor(
+            max_workers=read_workers, thread_name_prefix="dynfo-read"
+        )
+        self._inflight: dict[tuple, _InFlightRead] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(self, session: Session, deadline: float | None) -> float | None:
+        if deadline is None:
+            deadline = self.default_deadline
+        with session.queue_lock:
+            if session.pending >= self.max_queue_depth:
+                session.metrics.record_overload()
+                raise OverloadError(
+                    f"session {session.name!r} queue is full "
+                    f"({self.max_queue_depth} pending); back off and retry"
+                )
+            session.pending += 1
+        return deadline
+
+    def _release(self, session: Session, count: int = 1) -> None:
+        with session.queue_lock:
+            session.pending -= count
+
+    # -- writes ------------------------------------------------------------
+
+    def apply(
+        self, session: Session, request: Request, deadline: float | None = None
+    ) -> dict[str, int]:
+        """Apply one write through the coalescing queue; blocks until the
+        request's batch is durably committed (or it failed typed)."""
+        outcome = self.apply_script(session, [request], deadline)[0]
+        if outcome.error is not None:
+            raise outcome.error
+        assert outcome.stats is not None
+        return outcome.stats
+
+    def apply_script(
+        self,
+        session: Session,
+        requests: Sequence[Request],
+        deadline: float | None = None,
+    ) -> list[WriteOutcome]:
+        """Enqueue a contiguous run of writes and wait for all of them.
+
+        The requests land in the queue together, so up to ``max_batch`` of
+        them commit as one group-fsync batch — plus whatever other clients
+        queued meanwhile.  Per-request outcomes come back in order."""
+        if not requests:
+            return []
+        deadline = self._admit_many(session, len(requests), deadline)
+        outcomes = [WriteOutcome(request, deadline) for request in requests]
+        try:
+            with session.queue_lock:
+                session.write_queue.extend(outcomes)
+            self._drain(session)
+            timeout = 60.0 if deadline is None else deadline + 60.0
+            for outcome in outcomes:
+                if not outcome.done.wait(timeout=timeout):  # pragma: no cover
+                    outcome.error = OverloadError(
+                        f"write on session {session.name!r} stalled past "
+                        f"{timeout:.0f}s; the service is wedged"
+                    )
+            return outcomes
+        finally:
+            self._release(session, len(outcomes))
+
+    def _admit_many(
+        self, session: Session, count: int, deadline: float | None
+    ) -> float | None:
+        if deadline is None:
+            deadline = self.default_deadline
+        with session.queue_lock:
+            if session.pending + count > self.max_queue_depth:
+                session.metrics.record_overload()
+                raise OverloadError(
+                    f"session {session.name!r} queue cannot take {count} more "
+                    f"requests ({session.pending} of {self.max_queue_depth} "
+                    "slots used); back off and retry"
+                )
+            session.pending += count
+        return deadline
+
+    def _drain(self, session: Session) -> None:
+        """The batch-commit loop.  Whoever holds ``writer_lock`` drains; the
+        empty-queue check and the lock release happen under ``queue_lock``
+        so an enqueue can never slip between them and strand a request."""
+        while True:
+            if not session.writer_lock.acquire(blocking=False):
+                return  # the current holder's loop will pick our entry up
+            batch: list[WriteOutcome] | None = None
+            with session.queue_lock:
+                if session.write_queue:
+                    take = min(len(session.write_queue), self.max_batch)
+                    batch = [session.write_queue.popleft() for _ in range(take)]
+                else:
+                    session.writer_lock.release()
+            if batch is None:
+                return
+            try:
+                self._commit_batch(session, batch)
+            finally:
+                session.writer_lock.release()
+
+    def _commit_batch(self, session: Session, batch: list[WriteOutcome]) -> None:
+        """Apply one coalesced batch under the exclusive lock, sync the
+        journal once, then acknowledge every submitter."""
+        started = time.monotonic_ns()
+        applied: list[WriteOutcome] = []
+        session.rw.acquire_write()
+        try:
+            for outcome in batch:
+                wait_ns = outcome.wait_ns
+                deadline = outcome.deadline
+                if deadline is not None and wait_ns > deadline * 1e9:
+                    outcome.error = OverloadError(
+                        f"request waited {wait_ns / 1e9:.2f}s in the write "
+                        f"queue of session {session.name!r}, past its "
+                        f"{deadline:.2f}s deadline"
+                    )
+                    session.metrics.record_overload()
+                    continue
+                try:
+                    session.engine.apply(outcome.request)
+                except EngineError as error:
+                    outcome.error = error
+                except Exception as error:  # no raw tracebacks to clients
+                    outcome.error = EngineError(
+                        f"applying {outcome.request} failed: {error}"
+                    )
+                else:
+                    outcome.stats = session.engine.last_update_stats
+                    applied.append(outcome)
+        finally:
+            session.rw.release_write()
+        journal = session.journal
+        if journal is not None:
+            try:
+                journal.sync()  # the group-commit durability point
+            except (OSError, JournalError) as error:
+                for outcome in applied:
+                    outcome.stats = None
+                    outcome.error = JournalError(
+                        f"journal sync failed after apply: {error}"
+                    )
+        session.metrics.record_batch(len(batch), time.monotonic_ns() - started)
+        for outcome in batch:
+            session.metrics.record_write(outcome.wait_ns, outcome.error is None)
+            outcome.done.set()
+
+    # -- reads -------------------------------------------------------------
+
+    def read(
+        self,
+        session: Session,
+        fn: Callable[[], Any],
+        key: Hashable | None = None,
+        deadline: float | None = None,
+    ) -> Any:
+        """Run ``fn`` under the shared reader lock on the thread pool.
+
+        With a ``key``, identical concurrent reads collapse onto one
+        evaluation (keyed additionally by session and structure version);
+        without one, the read always evaluates itself."""
+        deadline = self._admit(session, deadline)
+        try:
+            if key is None:
+                return self._pool.submit(
+                    self._execute_read, session, fn, time.monotonic_ns(), deadline
+                ).result()
+            full_key = (session.name, session.version, key)
+            with self._inflight_lock:
+                entry = self._inflight.get(full_key)
+                leader = entry is None
+                if leader:
+                    entry = _InFlightRead()
+                    self._inflight[full_key] = entry
+            if not leader:
+                return self._join_read(session, entry, deadline)
+            try:
+                enqueued = time.monotonic_ns()
+                try:
+                    entry.value = self._pool.submit(
+                        self._execute_read, session, fn, enqueued, deadline
+                    ).result()
+                except Exception as error:
+                    entry.error = error
+                    raise
+                return entry.value
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(full_key, None)
+                entry.done.set()
+        finally:
+            self._release(session)
+
+    def _join_read(
+        self, session: Session, entry: _InFlightRead, deadline: float | None
+    ) -> Any:
+        started = time.monotonic_ns()
+        if not entry.done.wait(timeout=deadline if deadline else 60.0):
+            session.metrics.record_overload()
+            raise OverloadError(
+                f"collapsed read on session {session.name!r} exceeded its "
+                f"deadline waiting for the leading evaluation"
+            )
+        session.metrics.record_read(
+            wait_ns=time.monotonic_ns() - started, exec_ns=0, collapsed=True
+        )
+        if entry.error is not None:
+            raise entry.error
+        return entry.value
+
+    def _execute_read(
+        self,
+        session: Session,
+        fn: Callable[[], Any],
+        enqueued_ns: int,
+        deadline: float | None,
+    ) -> Any:
+        wait_ns = time.monotonic_ns() - enqueued_ns
+        if deadline is not None and wait_ns > deadline * 1e9:
+            session.metrics.record_overload()
+            raise OverloadError(
+                f"read waited {wait_ns / 1e9:.2f}s for a worker on session "
+                f"{session.name!r}, past its {deadline:.2f}s deadline"
+            )
+        started = time.monotonic_ns()
+        session.rw.acquire_read()
+        try:
+            value = fn()
+        finally:
+            session.rw.release_read()
+        session.metrics.record_read(
+            wait_ns=wait_ns, exec_ns=time.monotonic_ns() - started
+        )
+        return value
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)

@@ -1,0 +1,110 @@
+"""The TCP front end: NDJSON over a threading socket server.
+
+One daemon thread per connection, each reading frames line-by-line and
+answering through the shared :class:`~.service.DynFOService`.  Protocol
+errors (bad JSON, oversized frames, missing fields) are answered typed on
+the same connection — the client keeps the socket; only EOF or a transport
+error ends the loop.
+
+Deliberately dependency-free: :mod:`socketserver` from the standard
+library, newline framing, JSON payloads.  ``nc localhost 8642`` is a
+working client.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from .errors import ProtocolError, error_to_wire
+from .protocol import MAX_FRAME_BYTES, decode_frame, encode_frame
+from .service import DynFOService
+
+__all__ = ["DynFOServer", "serve_forever"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read a frame, answer a frame, repeat until EOF."""
+
+    # bound readline() so an unterminated line cannot balloon memory
+    rbufsize = MAX_FRAME_BYTES + 2
+
+    def setup(self) -> None:
+        super().setup()
+        self.connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def handle(self) -> None:
+        service: DynFOService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_FRAME_BYTES + 2)
+            except (OSError, ValueError):
+                return
+            if not line:
+                return  # client hung up
+            if line.strip() == b"":
+                continue
+            try:
+                if len(line) > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"frame exceeds the {MAX_FRAME_BYTES}-byte limit"
+                    )
+                response = service.handle(decode_frame(line))
+            except Exception as error:  # framing failed before dispatch
+                service.metrics.record_request()
+                wire = error_to_wire(error)
+                service.metrics.record_error(wire["code"])
+                response = {"id": None, "ok": False, "error": wire}
+            try:
+                self.wfile.write(encode_frame(response))
+                self.wfile.flush()
+            except (OSError, ValueError):
+                return
+
+
+class DynFOServer(socketserver.ThreadingTCPServer):
+    """A threading TCP server wrapping one :class:`DynFOService`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server_address``), which is what the tests and benchmarks use.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, service: DynFOService | None = None
+    ) -> None:
+        self.service = service if service is not None else DynFOService()
+        super().__init__((host, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests, benchmarks, examples)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="dynfo-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def stop(self, snapshot: bool = True) -> None:
+        """Stop accepting, close the listener, and quiesce the service."""
+        self.shutdown()
+        self.server_close()
+        self.service.close(snapshot=snapshot)
+
+
+def serve_forever(server: DynFOServer) -> None:
+    """Run ``server`` until KeyboardInterrupt, then shut down cleanly with
+    snapshots — the ``repro serve`` loop."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close(snapshot=True)

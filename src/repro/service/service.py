@@ -1,0 +1,257 @@
+"""The transport-agnostic request dispatcher.
+
+:class:`DynFOService` is the whole serving layer behind one method:
+``handle(item) -> response``.  The TCP front end feeds it decoded frames;
+the in-process :class:`~.client.ServiceClient` calls it directly — both run
+the *identical* dispatch, scheduling, and error paths, which is what makes
+the in-process client an honest test double for the socket one.
+
+``handle`` never raises: every failure becomes a typed error response via
+:func:`~.errors.error_to_wire` (stable codes, no tracebacks).
+
+Wire ops: ``ping``, ``open``, ``apply``, ``apply_script``, ``query``,
+``ask``, ``stats``, ``sessions``, ``save``, ``close``.  See
+docs/TUTORIAL.md §8 for the request shapes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from ..dynfo.requests import request_from_item
+from .errors import ProtocolError, error_to_wire
+from .metrics import ServiceMetrics
+from .protocol import get_field, rows_to_wire
+from .scheduler import Scheduler
+from .session import Session, SessionManager
+
+__all__ = ["DynFOService"]
+
+
+class DynFOService:
+    """SessionManager + Scheduler behind a single ``handle`` entry point."""
+
+    def __init__(
+        self,
+        data_dir: str | Path | None = None,
+        max_sessions: int = 64,
+        read_workers: int = 8,
+        max_batch: int = 64,
+        max_queue_depth: int = 256,
+        default_deadline: float | None = 30.0,
+        programs: Mapping | None = None,
+    ) -> None:
+        self.sessions = SessionManager(
+            data_dir=data_dir, max_sessions=max_sessions, programs=programs
+        )
+        self.scheduler = Scheduler(
+            read_workers=read_workers,
+            max_batch=max_batch,
+            max_queue_depth=max_queue_depth,
+            default_deadline=default_deadline,
+        )
+        self.metrics = ServiceMetrics()
+        self._ops = {
+            "ping": self._op_ping,
+            "open": self._op_open,
+            "apply": self._op_apply,
+            "apply_script": self._op_apply_script,
+            "query": self._op_query,
+            "ask": self._op_ask,
+            "stats": self._op_stats,
+            "sessions": self._op_sessions,
+            "save": self._op_save,
+            "close": self._op_close,
+        }
+
+    # -- the single entry point -------------------------------------------
+
+    def handle(self, item: dict) -> dict:
+        """Dispatch one decoded frame; always returns a response frame."""
+        rid = item.get("id") if isinstance(item, dict) else None
+        self.metrics.record_request()
+        try:
+            if not isinstance(item, dict):
+                raise ProtocolError(
+                    f"frame must be a JSON object, got {type(item).__name__}"
+                )
+            op = item.get("op")
+            handler = self._ops.get(op)
+            if handler is None:
+                raise ProtocolError(
+                    f"unknown op {op!r}; available: {', '.join(sorted(self._ops))}"
+                )
+            result = handler(item)
+        except Exception as error:
+            wire = error_to_wire(error)
+            self.metrics.record_error(wire["code"])
+            return {"id": rid, "ok": False, "error": wire}
+        return {"id": rid, "ok": True, "result": result}
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _session(self, item: dict) -> Session:
+        return self.sessions.get(get_field(item, "session", str))
+
+    @staticmethod
+    def _deadline(item: dict) -> float | None:
+        deadline_ms = item.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError("deadline_ms must be a number of milliseconds")
+        return float(deadline_ms) / 1e3
+
+    @staticmethod
+    def _params(item: dict) -> dict[str, int]:
+        params = item.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError("params must be an object of name -> int")
+        for name, value in params.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(f"param {name!r} must be an int, got {value!r}")
+        return params
+
+    @staticmethod
+    def _wire_request(item_req) -> object:
+        try:
+            return request_from_item(item_req)
+        except ValueError as error:
+            raise ProtocolError(str(error)) from error
+
+    # -- ops ---------------------------------------------------------------
+
+    def _op_ping(self, item: dict) -> str:
+        return "pong"
+
+    def _op_open(self, item: dict) -> dict:
+        name = get_field(item, "session", str)
+        program = get_field(item, "program", str, required=False)
+        n = get_field(item, "n", int, required=False)
+        backend = get_field(item, "backend", str, required=False)
+        durable = get_field(item, "durable", bool, required=False)
+        audit_every = get_field(item, "audit_every", int, required=False) or 0
+        session = self.sessions.open(
+            name,
+            program,
+            n=n,
+            backend=backend,
+            durable=durable,
+            audit_every=audit_every,
+        )
+        return {
+            "session": session.name,
+            "program": session.program_name,
+            "n": session.engine.n,
+            "backend": session.backend_name,
+            "requests_applied": session.engine.requests_applied,
+            "durable": session.directory is not None,
+            "recovered": session.recovered,
+        }
+
+    def _op_apply(self, item: dict) -> dict:
+        session = self._session(item)
+        request = self._wire_request(get_field(item, "request", dict))
+        stats = self.scheduler.apply(session, request, self._deadline(item))
+        return {
+            "applied": 1,
+            "requests_applied": session.engine.requests_applied,
+            "stats": stats,
+        }
+
+    def _op_apply_script(self, item: dict) -> dict:
+        session = self._session(item)
+        script = get_field(item, "script", list)
+        requests = [self._wire_request(entry) for entry in script]
+        outcomes = self.scheduler.apply_script(
+            session, requests, self._deadline(item)
+        )
+        errors = [
+            {"index": i, "error": error_to_wire(outcome.error)}
+            for i, outcome in enumerate(outcomes)
+            if outcome.error is not None
+        ]
+        return {
+            "applied": len(outcomes) - len(errors),
+            "requests_applied": session.engine.requests_applied,
+            "errors": errors,
+        }
+
+    def _op_query(self, item: dict) -> list[list[int]]:
+        session = self._session(item)
+        name = get_field(item, "name", str)
+        params = self._params(item)
+        key = ("query", name, tuple(sorted(params.items())))
+        try:
+            rows = self.scheduler.read(
+                session,
+                lambda: session.engine.query(name, **params),
+                key=key,
+                deadline=self._deadline(item),
+            )
+        except KeyError as error:
+            raise ProtocolError(str(error)) from error
+        except TypeError as error:
+            raise ProtocolError(f"bad params for query {name!r}: {error}") from error
+        return rows_to_wire(rows)
+
+    def _op_ask(self, item: dict) -> bool:
+        session = self._session(item)
+        name = get_field(item, "name", str)
+        params = self._params(item)
+        key = ("ask", name, tuple(sorted(params.items())))
+        try:
+            return bool(
+                self.scheduler.read(
+                    session,
+                    lambda: session.engine.ask(name, **params),
+                    key=key,
+                    deadline=self._deadline(item),
+                )
+            )
+        except KeyError as error:
+            raise ProtocolError(str(error)) from error
+        except TypeError as error:
+            raise ProtocolError(f"bad params for query {name!r}: {error}") from error
+
+    def _op_stats(self, item: dict) -> dict:
+        which = get_field(item, "session", str, required=False)
+        if which is not None:
+            return {which: self.sessions.get(which).describe()}
+        return {
+            "service": {
+                **self.metrics.snapshot(),
+                "sessions": len(self.sessions.names()),
+                "max_sessions": self.sessions.max_sessions,
+                "read_workers": self.scheduler.read_workers,
+                "max_batch": self.scheduler.max_batch,
+                "max_queue_depth": self.scheduler.max_queue_depth,
+            },
+            "sessions": self.sessions.describe(),
+        }
+
+    def _op_sessions(self, item: dict) -> list[str]:
+        return self.sessions.names()
+
+    def _op_save(self, item: dict) -> dict:
+        session = self._session(item)
+        session.save()
+        return {
+            "session": session.name,
+            "requests_applied": session.engine.requests_applied,
+        }
+
+    def _op_close(self, item: dict) -> dict:
+        name = get_field(item, "session", str)
+        snapshot = get_field(item, "snapshot", bool, required=False)
+        self.sessions.close(name, snapshot=True if snapshot is None else snapshot)
+        return {"session": name, "closed": True}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, snapshot: bool = True) -> None:
+        """Quiesce: close every session (snapshotting durable ones) and the
+        read pool."""
+        self.sessions.close_all(snapshot=snapshot)
+        self.scheduler.close()
