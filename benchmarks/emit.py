@@ -1,6 +1,7 @@
 #!/usr/bin/env python
-"""Emit the machine-readable benchmarks: BENCH_plan_cache.json and, with
-``--service``, the serving-layer E22 payload BENCH_service.json.
+"""Emit the machine-readable benchmarks: BENCH_plan_cache.json, with
+``--service`` the serving-layer E22 payload BENCH_service.json, and with
+``--obs`` the observability-overhead E23 payload BENCH_obs.json.
 
 Usage (from the repo root)::
 
@@ -8,6 +9,7 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/emit.py --quick          # CI smoke
     PYTHONPATH=src python benchmarks/emit.py --no-baseline    # skip git arm
     PYTHONPATH=src python benchmarks/emit.py --service        # E22 payload
+    PYTHONPATH=src python benchmarks/emit.py --obs            # E23 payload
 
 Equivalent to ``dynfo bench --bench-json BENCH_plan_cache.json``; the
 measurement kernels live in :mod:`repro.bench.plan_cache` and
@@ -60,7 +62,32 @@ def main(argv=None) -> int:
         help="emit the serving-layer E22 payload (BENCH_service.json) "
         "instead of the plan-cache one",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="emit the observability-overhead E23 payload (BENCH_obs.json) "
+        "instead of the plan-cache one; exits nonzero if detailed tracing "
+        "costs more than the gate on the hot read",
+    )
     args = parser.parse_args(argv)
+    if args.obs:
+        from repro.bench.obs import collect as collect_obs
+        from repro.bench.obs import write_json as write_obs_json
+
+        out = args.out
+        if out == "BENCH_plan_cache.json":  # the plan-cache default
+            out = "BENCH_obs.json"
+        payload = collect_obs(quick=args.quick)
+        path = write_obs_json(out, payload)
+        headline = payload["headline"]
+        print(
+            f"hot-read tracing overhead: {headline['overhead_pct']}% "
+            f"({headline['untraced_median_us']} -> "
+            f"{headline['traced_median_us']} us median; "
+            f"gate {headline['gate_pct']}%)"
+        )
+        print(f"wrote {path}")
+        return 0 if headline["pass"] else 1
     if args.service:
         from repro.bench.service import collect as collect_service
         from repro.bench.service import write_json as write_service_json

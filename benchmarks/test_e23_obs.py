@@ -1,0 +1,39 @@
+"""E23 — Observability-overhead smoke: tracing stays cheap on the hot path.
+
+Marked ``quick`` so CI can run it as a regression tripwire
+(``pytest benchmarks -m quick``).  The mechanism tests assert the payload
+shape and the gate verdict; the one wall-clock assertion is the gate
+itself — detailed tracing must cost <= ``GATE_OVERHEAD_PCT`` percent on
+the E22 hot read, which is the acceptance number for the observability
+layer (``python benchmarks/emit.py --obs``).
+"""
+
+import pytest
+
+from repro.bench.obs import GATE_OVERHEAD_PCT, collect
+
+pytestmark = pytest.mark.quick
+
+
+def test_quick_payload_gate_and_shape():
+    payload = collect(quick=True)
+    assert payload["experiment"] == "E23"
+    headline = payload["headline"]
+    assert set(headline) >= {
+        "untraced_median_us",
+        "traced_median_us",
+        "overhead_pct",
+        "gate_pct",
+        "pass",
+    }
+    assert headline["gate_pct"] == GATE_OVERHEAD_PCT
+    arms = {arm["arm"]: arm for arm in payload["read_arms"]}
+    assert set(arms) == {"untraced", "traced"}
+    assert all(arm["median_us"] > 0 for arm in arms.values())
+    write_arms = {arm["arm"]: arm for arm in payload["write_arms"]}
+    assert set(write_arms) == {"untraced_write", "traced_write"}
+    # the acceptance gate: detailed tracing is within budget on the hot read
+    assert headline["pass"], (
+        f"tracing overhead {headline['overhead_pct']}% exceeds the "
+        f"{GATE_OVERHEAD_PCT}% gate"
+    )

@@ -18,13 +18,17 @@ Subcommands
     the static view of what every update/query executes.
 ``demo``
     A tiny REACH_u session showing the update formulas at work.
-``serve [--host H] [--port P] [--data-dir DIR] ...``
+``serve [--host H] [--port P] [--data-dir DIR] [--metrics-port P] ...``
     Host the concurrent multi-session serving layer over NDJSON/TCP
-    (see docs/TUTORIAL.md Sec. 8).
+    (see docs/TUTORIAL.md Sec. 8); ``--metrics-port`` adds a
+    Prometheus-style ``/metrics`` endpoint and ``--slowlog-ms`` sets
+    the slow-request threshold (docs/TUTORIAL.md Sec. 9).
 ``client ACTION [...]``
     Talk to a running server: ``ping``, ``open``, ``ins``, ``del``,
     ``set``, ``ask``, ``query``, ``stats``, ``sessions``, ``save``,
-    ``close``, or ``pipe`` (NDJSON frames from stdin).
+    ``close``, ``slowlog``, ``pipe`` (NDJSON frames from stdin), or
+    ``trace ACTION ...`` (run one op with tracing on and print its
+    span tree).
 """
 
 from __future__ import annotations
@@ -293,16 +297,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_queue_depth=args.max_queue,
         default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        slowlog_ms=args.slowlog_ms,
     )
     server = DynFOServer(host=args.host, port=args.port, service=service)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from .obs import start_metrics_server
+
+        metrics_server = start_metrics_server(
+            service, host=args.host, port=args.metrics_port
+        )
+        metrics_host, metrics_port = metrics_server.server_address[:2]
+        print(
+            f"metrics exposition on http://{metrics_host}:{metrics_port}/metrics",
+            flush=True,
+        )
     durability = f"durable under {args.data_dir}" if args.data_dir else "in-memory"
     print(
         f"dynfo service on {args.host}:{server.port} ({durability}; "
         f"max {args.max_sessions} sessions, {args.read_workers} read workers, "
-        f"batches up to {args.max_batch}); Ctrl-C to stop",
+        f"batches up to {args.max_batch}, slow log past {args.slowlog_ms:g}ms); "
+        "Ctrl-C to stop",
         flush=True,
     )
-    serve_forever(server)
+    try:
+        serve_forever(server)
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
     print("stopped; sessions snapshotted" if args.data_dir else "stopped")
     return 0
 
@@ -324,7 +347,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
     import json
 
     from .dynfo.errors import EngineError
-    from .dynfo.requests import Delete, Insert, SetConst
+    from .dynfo.requests import Delete, Insert, SetConst, request_to_item
     from .service import TCPServiceClient
     from .service.protocol import decode_frame, encode_frame
 
@@ -334,6 +357,46 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return args.args
 
     deadline = args.deadline_ms
+
+    def frame_for(action: str, rest: Sequence[str]) -> dict:
+        """One scheduler-visible op as a raw wire frame (for ``trace``)."""
+
+        def want(count: int, usage: str) -> None:
+            if len(rest) < count:
+                raise SystemExit(f"usage: client trace {action} {usage}")
+
+        item: dict
+        if action in ("ins", "del"):
+            want(3, "SESSION REL ELEM [ELEM ...]")
+            cls = Insert if action == "ins" else Delete
+            request = cls(rest[1], tuple(int(v) for v in rest[2:]))
+            item = {
+                "op": "apply",
+                "session": rest[0],
+                "request": request_to_item(request),
+            }
+        elif action == "set":
+            want(3, "SESSION NAME VALUE")
+            item = {
+                "op": "apply",
+                "session": rest[0],
+                "request": request_to_item(SetConst(rest[1], int(rest[2]))),
+            }
+        elif action in ("ask", "query"):
+            want(2, "SESSION QUERY [name=value ...]")
+            item = {
+                "op": action,
+                "session": rest[0],
+                "name": rest[1],
+                "params": _parse_params(rest[2:]),
+            }
+        else:
+            raise SystemExit(
+                f"cannot trace {action!r}; traceable: ins, del, set, ask, query"
+            )
+        if deadline is not None:
+            item["deadline_ms"] = deadline
+        return item
     try:
         with TCPServiceClient(host=args.host, port=args.port) as client:
             action = args.action
@@ -380,6 +443,26 @@ def _cmd_client(args: argparse.Namespace) -> int:
             elif action == "close":
                 rest = need(1, "SESSION")
                 print(json.dumps(client.close_session(rest[0]), sort_keys=True))
+            elif action == "slowlog":
+                which = args.args[0] if args.args else None
+                log = client.slowlog(which)
+                entries = log.get("entries", [])
+                print(
+                    f"{len(entries)} slow request(s) past "
+                    f"{log.get('threshold_ms')}ms"
+                    + (f" ({log['dropped']} dropped)" if log.get("dropped") else "")
+                )
+                for entry in entries:
+                    print(json.dumps(entry, sort_keys=True))
+            elif action == "trace":
+                from .obs.trace import render_trace
+
+                rest = need(1, "ACTION [ARGS ...]")
+                item = frame_for(rest[0], rest[1:])
+                result, trace = client.call_traced(item)
+                print(json.dumps(result, sort_keys=True))
+                if trace is not None:
+                    print(render_trace(trace))
             elif action == "pipe":
                 # raw NDJSON passthrough: frames on stdin, responses on stdout
                 for line in sys.stdin:
@@ -538,6 +621,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=30000.0,
         help="default per-request deadline (0 = none)",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose Prometheus-style text metrics over HTTP at "
+        "/metrics on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--slowlog-ms",
+        type=float,
+        default=250.0,
+        help="requests slower than this land in the slow-request ring "
+        "buffer ('client slowlog')",
+    )
     serve.set_defaults(fn=_cmd_serve)
 
     client = sub.add_parser("client", help="talk to a running server")
@@ -555,6 +653,8 @@ def build_parser() -> argparse.ArgumentParser:
             "sessions",
             "save",
             "close",
+            "slowlog",
+            "trace",
             "pipe",
         ],
         help="what to do",

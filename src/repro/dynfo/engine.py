@@ -32,6 +32,7 @@ is fsync'd to a write-ahead log before commit (see :mod:`.journal`).
 
 from __future__ import annotations
 
+from time import monotonic_ns as _monotonic_ns
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from ..logic.dense import DenseEvaluator
@@ -144,6 +145,12 @@ class DynFOEngine:
             "tuples_written": 0,
             "temporary_tuples": 0,
         }
+        # observability hook: when set, called as hook(kind, name, ns) for
+        # every temporary/primed-relation evaluation and journal append of
+        # an apply.  None (the default) costs one load-and-test per
+        # evaluation, nothing more — the serving layer sets it only for the
+        # duration of an explicitly traced request.
+        self.eval_timing_hook: Callable[[str, str, int], None] | None = None
 
     # -- request application -----------------------------------------------------
 
@@ -169,7 +176,13 @@ class DynFOEngine:
         rule, params, mirror = self._dispatch(request)
         batch, stats = self._stage(request, rule, params, mirror)
         if self._journal is not None:
-            self._journal.append(self.requests_applied, request)
+            hook = self.eval_timing_hook
+            if hook is None:
+                self._journal.append(self.requests_applied, request)
+            else:
+                started = _monotonic_ns()
+                self._journal.append(self.requests_applied, request)
+                hook("journal", "append", _monotonic_ns() - started)
         batch.commit()
         self.last_update_stats = stats
         self.requests_applied += 1
@@ -189,6 +202,7 @@ class DynFOEngine:
         ``self.structure``."""
         source = self.structure
         temporary_tuples = 0
+        hook = self.eval_timing_hook
         try:
             # compiled once per (rule, backend, n), then a cache hit forever
             compiled = (
@@ -202,27 +216,46 @@ class DynFOEngine:
                 scratch_eval = self._make_evaluator(source, params)
                 if compiled is not None:
                     for name, plan in compiled.temporaries:
-                        rows = scratch_eval.execute(plan)
+                        if hook is None:
+                            rows = scratch_eval.execute(plan)
+                        else:
+                            started = _monotonic_ns()
+                            rows = scratch_eval.execute(plan)
+                            hook("temporary", name, _monotonic_ns() - started)
                         temporary_tuples += len(rows)
                         source.set_relation(name, rows)
                 else:
                     for temp in rule.temporaries:
-                        rows = scratch_eval.rows(temp.formula, temp.frame)
+                        if hook is None:
+                            rows = scratch_eval.rows(temp.formula, temp.frame)
+                        else:
+                            started = _monotonic_ns()
+                            rows = scratch_eval.rows(temp.formula, temp.frame)
+                            hook("temporary", temp.name, _monotonic_ns() - started)
                         temporary_tuples += len(rows)
                         source.set_relation(temp.name, rows)
             evaluator = self._make_evaluator(source, params)
+            new_relations: dict[str, set[tuple[int, ...]]] = {}
             if compiled is not None:
-                new_relations = {
-                    name: evaluator.execute(plan)
-                    for name, plan in compiled.definitions
-                }
+                for name, plan in compiled.definitions:
+                    if hook is None:
+                        new_relations[name] = evaluator.execute(plan)
+                    else:
+                        started = _monotonic_ns()
+                        new_relations[name] = evaluator.execute(plan)
+                        hook("definition", name, _monotonic_ns() - started)
             else:
-                new_relations = {
-                    definition.name: evaluator.rows(
-                        definition.formula, definition.frame
-                    )
-                    for definition in rule.definitions
-                }
+                for definition in rule.definitions:
+                    if hook is None:
+                        new_relations[definition.name] = evaluator.rows(
+                            definition.formula, definition.frame
+                        )
+                    else:
+                        started = _monotonic_ns()
+                        new_relations[definition.name] = evaluator.rows(
+                            definition.formula, definition.frame
+                        )
+                        hook("definition", definition.name, _monotonic_ns() - started)
         except EngineError:
             raise
         except Exception as error:

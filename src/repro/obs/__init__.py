@@ -1,0 +1,33 @@
+"""Observability for the serving stack: traces, histograms, slow log.
+
+Three pieces, deliberately dependency-free (stdlib only):
+
+* :mod:`.trace` — per-request trace ids and span trees covering every
+  pipeline phase (admission, queue wait, lock waits, per-rule engine
+  evaluation, journal append, group fsync, collapse-join);
+* :mod:`.hist` — fixed-bucket latency histograms (p50/p95/p99/max) that
+  replace sum/max-only counters in the session metrics;
+* :mod:`.slowlog` — a ring buffer of the slowest requests, each entry
+  carrying its span breakdown and the offending rule's compiled plan;
+* :mod:`.promexp` — Prometheus-style text exposition of the counters and
+  histograms (``repro serve --metrics-port``).
+
+See DESIGN.md §5d for the span taxonomy and bucket layout, and
+docs/TUTORIAL.md §9 for the user-facing walkthrough.
+"""
+
+from .hist import BUCKET_BOUNDS_US, LatencyHistogram
+from .promexp import render_prometheus, start_metrics_server
+from .slowlog import SlowLog
+from .trace import Span, Trace, new_trace_id
+
+__all__ = [
+    "BUCKET_BOUNDS_US",
+    "LatencyHistogram",
+    "SlowLog",
+    "Span",
+    "Trace",
+    "new_trace_id",
+    "render_prometheus",
+    "start_metrics_server",
+]

@@ -1,0 +1,82 @@
+"""Fixed-bucket latency histograms.
+
+The buckets are a 1-2-5 log ladder from 1 microsecond to 50 seconds (24
+bounds plus overflow), fixed at import time so every histogram in the
+process — and every exposition of one — shares the same boundaries.
+Percentiles come back as the upper bound of the bucket the rank falls in
+(the usual fixed-bucket estimate; the exact maximum is tracked alongside),
+which is plenty for "where did the p99 go" questions while keeping
+``record`` to one bisect and one list increment.
+
+Not internally locked: callers (``SessionMetrics``) already serialize
+recording and snapshotting under their own lock.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["BUCKET_BOUNDS_US", "LatencyHistogram"]
+
+#: Upper bucket bounds in microseconds: 1, 2, 5, 10, ... 50_000_000 (50 s).
+BUCKET_BOUNDS_US: tuple[int, ...] = tuple(
+    m * 10**e for e in range(8) for m in (1, 2, 5)
+)
+
+_BOUNDS_NS = tuple(b * 1_000 for b in BUCKET_BOUNDS_US)
+
+
+class LatencyHistogram:
+    """Counts of observations per fixed latency bucket, in nanoseconds."""
+
+    __slots__ = ("counts", "count", "sum_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BOUNDS_NS) + 1)  # last = overflow (> 50 s)
+        self.count = 0
+        self.sum_ns = 0
+        self.max_ns = 0
+
+    def record(self, ns: int) -> None:
+        self.counts[bisect_left(_BOUNDS_NS, ns)] += 1
+        self.count += 1
+        self.sum_ns += ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+
+    def percentile_us(self, q: float) -> float:
+        """The ``q``-quantile (0 < q <= 1) as the covering bucket's upper
+        bound in microseconds, clamped to the observed maximum."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                if index >= len(BUCKET_BOUNDS_US):
+                    return round(self.max_ns / 1e3, 1)
+                return float(min(BUCKET_BOUNDS_US[index], self.max_ns / 1e3))
+        return round(self.max_ns / 1e3, 1)  # pragma: no cover - defensive
+
+    def snapshot(self) -> dict:
+        """The JSON-able summary the ``stats`` wire op carries."""
+        return {
+            "count": self.count,
+            "avg_us": round(self.sum_ns / self.count / 1e3, 1) if self.count else 0.0,
+            "p50_us": self.percentile_us(0.50),
+            "p95_us": self.percentile_us(0.95),
+            "p99_us": self.percentile_us(0.99),
+            "max_us": round(self.max_ns / 1e3, 1),
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound_seconds, cumulative_count)`` pairs plus the +Inf
+        bucket — the Prometheus histogram exposition shape."""
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for bound_us, bucket in zip(BUCKET_BOUNDS_US, self.counts):
+            seen += bucket
+            out.append((bound_us / 1e6, seen))
+        out.append((float("inf"), self.count))
+        return out

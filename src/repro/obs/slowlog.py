@@ -1,0 +1,82 @@
+"""The slow-request log: a ring buffer of the requests that hurt.
+
+Every service request gets a skeleton trace (span per pipeline phase);
+when one finishes slower than the threshold, its trace — plus the compiled
+plan of the rule or query it exercised — lands here.  The buffer is
+bounded (oldest entries fall off), so it is always safe to leave on, and
+``repro client slowlog`` reads it over the ``slowlog`` wire op without
+grepping server logs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .trace import Trace
+
+__all__ = ["SlowLog"]
+
+
+class SlowLog:
+    """Bounded, thread-safe ring of slow-request records."""
+
+    def __init__(self, capacity: int = 64, threshold_ms: float = 250.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"slow log capacity must be >= 1, got {capacity}")
+        if threshold_ms < 0:
+            raise ValueError(f"slow log threshold must be >= 0, got {threshold_ms}")
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def observe(
+        self,
+        trace: Trace,
+        total_ns: int,
+        ok: bool,
+        plan: str | None = None,
+        error: str | None = None,
+    ) -> bool:
+        """Record the request if it crossed the threshold; returns whether
+        it did.  ``plan`` is the rendered physical plan of the offending
+        rule/query (the expensive part — callers render it only after the
+        threshold check via :meth:`is_slow`)."""
+        if not self.is_slow(total_ns):
+            return False
+        entry = {
+            "ts": time.time(),
+            "duration_ms": round(total_ns / 1e6, 3),
+            "ok": ok,
+            **trace.to_wire(total_ns),
+        }
+        if plan:
+            entry["plan"] = plan
+        if error:
+            entry["error"] = error
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self._dropped += 1
+            self._entries.append(entry)
+        return True
+
+    def is_slow(self, total_ns: int) -> bool:
+        return total_ns >= self.threshold_ms * 1e6
+
+    def snapshot(self, limit: int | None = None) -> dict:
+        """Newest-first entries plus the log's configuration."""
+        with self._lock:
+            entries = list(self._entries)
+            dropped = self._dropped
+        entries.reverse()
+        if limit is not None:
+            entries = entries[:limit]
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "dropped": dropped,
+            "entries": entries,
+        }

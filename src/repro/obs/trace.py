@@ -1,0 +1,175 @@
+"""Per-request traces: one id, one span tree, one request.
+
+A :class:`Trace` is created by the service front end for every request and
+threaded through the scheduler, which records one :class:`Span` per
+pipeline phase it passes through.  Phases of a single request are strictly
+sequential — the submitter thread hands off to the drain winner through
+``queue_lock`` and gets the result back through an ``Event``, both of which
+establish happens-before — so the span list needs no lock of its own even
+though different threads append to it.
+
+The taxonomy (see DESIGN.md §5d):
+
+========================  ====================================================
+span                      what the time covers
+========================  ====================================================
+``queue_wait``            write enqueued -> picked up by the drain winner
+``writer_lock_wait``      the batch's exclusive-lock acquisition (shared by
+                          every request in the batch; ``batch_size`` meta)
+``engine_apply``          one request's transactional apply; children are
+                          ``eval:<relation>`` per temporary/primed relation
+                          (only when the request asked for a detailed trace)
+``journal_append``        the WAL append inside the apply
+``journal_fsync``         the batch's group-commit fsync (shared; meta)
+``worker_wait``           read submitted -> a pool worker picks it up
+``read_lock_wait``        the shared-lock acquisition under write pressure
+``eval``                  the read's query evaluation itself
+``collapse_join``         a follower waiting on the leading identical read
+========================  ====================================================
+
+``total_us`` plus the spans are what ``repro client trace <op ...>`` prints
+and what a slow-log entry carries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["Span", "Trace", "new_trace_id", "render_trace"]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 hex chars."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed phase of a request, with optional child spans."""
+
+    __slots__ = ("name", "start_ns", "duration_ns", "meta", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        meta: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.duration_ns = duration_ns
+        self.meta = meta
+        self.children: list[Span] | None = None
+
+    def add_child(
+        self, name: str, start_ns: int, duration_ns: int, meta: dict | None = None
+    ) -> "Span":
+        child = Span(name, start_ns, duration_ns, meta)
+        if self.children is None:
+            self.children = []
+        self.children.append(child)
+        return child
+
+    def to_wire(self, origin_ns: int) -> dict:
+        """JSON-able form; times are microseconds relative to the trace
+        origin so a client can lay spans on one axis."""
+        wire: dict = {
+            "name": self.name,
+            "start_us": round((self.start_ns - origin_ns) / 1e3, 1),
+            "duration_us": round(self.duration_ns / 1e3, 1),
+        }
+        if self.meta:
+            wire["meta"] = self.meta
+        if self.children:
+            wire["spans"] = [child.to_wire(origin_ns) for child in self.children]
+        return wire
+
+
+class Trace:
+    """The span collection for one service request.
+
+    ``detailed`` distinguishes a client-requested trace (``"trace": true``
+    in the frame — per-rule engine timings on, span tree echoed in the
+    response) from the always-on skeleton every request gets so the slow
+    log can explain *any* slow request after the fact.
+    """
+
+    #: spans kept per trace; a huge ``apply_script`` stops collecting past
+    #: this instead of ballooning one response frame
+    MAX_SPANS = 512
+
+    __slots__ = (
+        "trace_id",
+        "op",
+        "session",
+        "detailed",
+        "origin_ns",
+        "spans",
+        "spans_dropped",
+    )
+
+    def __init__(
+        self, op: str, session: str | None = None, detailed: bool = False
+    ) -> None:
+        self.trace_id = new_trace_id()
+        self.op = op
+        self.session = session
+        self.detailed = detailed
+        self.origin_ns = time.monotonic_ns()
+        self.spans: list[Span] = []
+        self.spans_dropped = 0
+
+    def record(
+        self, name: str, start_ns: int, duration_ns: int, meta: dict | None = None
+    ) -> Span:
+        span = Span(name, start_ns, duration_ns, meta)
+        if len(self.spans) >= self.MAX_SPANS:
+            self.spans_dropped += 1
+        else:
+            self.spans.append(span)
+        return span
+
+    @property
+    def total_ns(self) -> int:
+        return time.monotonic_ns() - self.origin_ns
+
+    def to_wire(self, total_ns: int | None = None) -> dict:
+        """The whole trace as a JSON-able span tree."""
+        wire = {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "session": self.session,
+            "total_us": round((self.total_ns if total_ns is None else total_ns) / 1e3, 1),
+            "spans": [span.to_wire(self.origin_ns) for span in self.spans],
+        }
+        if self.spans_dropped:
+            wire["spans_dropped"] = self.spans_dropped
+        return wire
+
+
+def render_trace(wire: dict) -> str:
+    """A terminal-friendly view of a wire-form trace (``to_wire`` output),
+    used by ``repro client trace``."""
+    lines = [
+        f"trace {wire.get('trace_id')} :: {wire.get('op')}"
+        + (f" on {wire['session']!r}" if wire.get("session") else "")
+        + f" :: {wire.get('total_us', 0.0)} us total"
+    ]
+
+    def walk(spans: list, depth: int) -> None:
+        for span in spans:
+            meta = span.get("meta") or {}
+            tail = (
+                " (" + ", ".join(f"{k}={v}" for k, v in sorted(meta.items())) + ")"
+                if meta
+                else ""
+            )
+            lines.append(
+                f"{'  ' * depth}+{span['start_us']:>9.1f} us  "
+                f"{span['name']:<18} {span['duration_us']:>9.1f} us{tail}"
+            )
+            walk(span.get("spans") or [], depth + 1)
+
+    walk(wire.get("spans") or [], 1)
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ from .errors import (
     ProtocolError,
     ServiceError,
     SessionError,
+    SessionPoisonedError,
     WIRE_CODES,
     code_for,
     error_from_wire,
@@ -36,6 +37,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "SessionError",
+    "SessionPoisonedError",
     "OverloadError",
     "WIRE_CODES",
     "code_for",

@@ -45,6 +45,17 @@ class _BaseClient:
             return response.get("result")
         raise error_from_wire(response.get("error"))
 
+    def call_traced(self, item: dict) -> tuple[Any, dict | None]:
+        """Like :meth:`request` with ``"trace": true`` set: returns
+        ``(result, trace)`` where ``trace`` is the server's span tree for
+        this exact request (see :mod:`~..obs.trace`)."""
+        response = self.call({**item, "trace": True})
+        if not isinstance(response, dict):
+            raise ProtocolError(f"malformed response: {response!r}")
+        if response.get("ok"):
+            return response.get("result"), response.get("trace")
+        raise error_from_wire(response.get("error"))
+
     # -- ops ---------------------------------------------------------------
 
     def ping(self) -> str:
@@ -136,6 +147,15 @@ class _BaseClient:
 
     def sessions(self) -> list[str]:
         return self.request({"op": "sessions"})
+
+    def slowlog(self, session: str | None = None, limit: int | None = None) -> dict:
+        """The server's slow-request ring buffer (newest first)."""
+        item: dict = {"op": "slowlog"}
+        if session is not None:
+            item["session"] = session
+        if limit is not None:
+            item["limit"] = limit
+        return self.request(item)
 
     def save(self, session: str) -> dict:
         return self.request({"op": "save", "session": session})

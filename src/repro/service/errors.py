@@ -41,6 +41,7 @@ __all__ = [
     "ServiceError",
     "ProtocolError",
     "SessionError",
+    "SessionPoisonedError",
     "OverloadError",
     "WIRE_CODES",
     "code_for",
@@ -68,11 +69,21 @@ class OverloadError(ServiceError):
     queue, or deadline exceeded while queued).  Nothing was applied."""
 
 
+class SessionPoisonedError(SessionError):
+    """A group-commit ``journal.sync()`` failed after the batch was applied,
+    so the in-memory engine is ahead of the durable log.  Rather than serve
+    diverged state, the session rejects all further *writes* with this
+    error (reads stay allowed — the in-memory structure is still
+    internally consistent).  Close and reopen the session to recover from
+    the journal's durable prefix."""
+
+
 # Stable wire codes, most specific class first: ``code_for`` walks an
 # exception's MRO and returns the first registered class, so subclasses
 # added later inherit their parent's code rather than leaking INTERNAL.
 _CODE_TABLE: tuple[tuple[str, type[Exception]], ...] = (
     ("OVERLOADED", OverloadError),
+    ("SESSION_POISONED", SessionPoisonedError),
     ("SESSION_ERROR", SessionError),
     ("PROTOCOL_ERROR", ProtocolError),
     ("SERVICE_ERROR", ServiceError),

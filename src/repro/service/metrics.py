@@ -1,10 +1,15 @@
-"""Live counters for the serving layer.
+"""Live counters and latency histograms for the serving layer.
 
 One :class:`SessionMetrics` per hosted session and one
 :class:`ServiceMetrics` for the process, all guarded by per-object locks so
 the thread-pool readers, the coalescing writer, and a concurrent ``stats``
-request never tear a snapshot.  Everything is exposed through the ``stats``
-wire op (see TUTORIAL §8); the snapshot dicts are plain JSON-able data.
+request never tear a snapshot.  Where the first serving cut kept only
+sums and maxima, every latency-shaped quantity now lands in a fixed-bucket
+:class:`~..obs.hist.LatencyHistogram` — ``stats`` reports p50/p95/p99/max
+per phase, and the same histograms back the Prometheus exposition
+(``repro serve --metrics-port``).  Everything is exposed through the
+``stats`` wire op (see TUTORIAL §8-9); the snapshot dicts are plain
+JSON-able data.
 """
 
 from __future__ import annotations
@@ -12,11 +17,16 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs.hist import LatencyHistogram
+
 __all__ = ["SessionMetrics", "ServiceMetrics"]
 
 
 class SessionMetrics:
-    """Per-session counters: traffic, batching, queueing, collapsing."""
+    """Per-session counters plus per-phase latency distributions."""
+
+    #: histogram name -> what one observation measures
+    HISTOGRAMS = ("read_latency", "write_latency", "queue_wait", "batch_commit", "fsync")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -28,10 +38,11 @@ class SessionMetrics:
         self.batches = 0
         self.batch_requests = 0
         self.batch_size_max = 0
-        self.queue_wait_ns = 0
-        self.queue_wait_ns_max = 0
-        self.read_ns = 0
-        self.write_ns = 0
+        self.read_latency = LatencyHistogram()  # admission -> result
+        self.write_latency = LatencyHistogram()  # enqueue -> durable ack
+        self.queue_wait = LatencyHistogram()  # enqueue -> drain pickup
+        self.batch_commit = LatencyHistogram()  # one group-commit batch
+        self.fsync = LatencyHistogram()  # the group fsync itself
 
     # -- recording ---------------------------------------------------------
 
@@ -40,21 +51,23 @@ class SessionMetrics:
             self.reads += 1
             if collapsed:
                 self.reads_collapsed += 1
-            self._record_wait(wait_ns)
-            self.read_ns += exec_ns
+            self.read_latency.record(wait_ns + exec_ns)
 
-    def record_batch(self, size: int, exec_ns: int) -> None:
+    def record_batch(self, size: int, exec_ns: int, fsync_ns: int = 0) -> None:
         """One coalesced write batch of ``size`` requests was committed."""
         with self._lock:
             self.batches += 1
             self.batch_requests += size
             self.batch_size_max = max(self.batch_size_max, size)
-            self.write_ns += exec_ns
+            self.batch_commit.record(exec_ns)
+            if fsync_ns:
+                self.fsync.record(fsync_ns)
 
-    def record_write(self, wait_ns: int, ok: bool) -> None:
+    def record_write(self, queue_wait_ns: int, total_ns: int, ok: bool) -> None:
         with self._lock:
             self.writes += 1
-            self._record_wait(wait_ns)
+            self.queue_wait.record(queue_wait_ns)
+            self.write_latency.record(total_ns)
             if not ok:
                 self.errors += 1
 
@@ -66,14 +79,10 @@ class SessionMetrics:
         with self._lock:
             self.overloads += 1
 
-    def _record_wait(self, wait_ns: int) -> None:
-        self.queue_wait_ns += wait_ns
-        self.queue_wait_ns_max = max(self.queue_wait_ns_max, wait_ns)
-
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """An atomic, JSON-able view of the counters."""
+        """An atomic, JSON-able view of the counters and histograms."""
         with self._lock:
             requests = self.reads + self.writes
             return {
@@ -88,13 +97,39 @@ class SessionMetrics:
                 "batch_size_avg": (
                     round(self.batch_requests / self.batches, 3) if self.batches else 0.0
                 ),
+                # kept for dashboards that predate the histograms
                 "queue_wait_us_avg": (
-                    round(self.queue_wait_ns / requests / 1e3, 1) if requests else 0.0
+                    round(self.queue_wait.sum_ns / self.queue_wait.count / 1e3, 1)
+                    if self.queue_wait.count
+                    else 0.0
                 ),
-                "queue_wait_us_max": round(self.queue_wait_ns_max / 1e3, 1),
-                "read_us_total": round(self.read_ns / 1e3, 1),
-                "write_us_total": round(self.write_ns / 1e3, 1),
+                "queue_wait_us_max": round(self.queue_wait.max_ns / 1e3, 1),
+                "latency": {
+                    name: getattr(self, name).snapshot() for name in self.HISTOGRAMS
+                },
             }
+
+    def prometheus_view(self) -> tuple[dict, dict]:
+        """An atomic view for the text exposition: the plain counters and,
+        per histogram, ``(cumulative_buckets, sum_ns, count)``."""
+        with self._lock:
+            counters = {
+                "reads": self.reads,
+                "reads_collapsed": self.reads_collapsed,
+                "writes": self.writes,
+                "errors": self.errors,
+                "overloads": self.overloads,
+                "batches": self.batches,
+            }
+            hists = {
+                name: (
+                    getattr(self, name).cumulative_buckets(),
+                    getattr(self, name).sum_ns,
+                    getattr(self, name).count,
+                )
+                for name in self.HISTOGRAMS
+            }
+        return counters, hists
 
 
 class ServiceMetrics:
@@ -107,6 +142,7 @@ class ServiceMetrics:
         self.errors = 0
         self.protocol_errors = 0
         self.internal_errors = 0
+        self.slow_requests = 0
 
     def record_request(self) -> None:
         with self._lock:
@@ -120,6 +156,10 @@ class ServiceMetrics:
             elif code == "INTERNAL_ERROR":
                 self.internal_errors += 1
 
+    def record_slow(self) -> None:
+        with self._lock:
+            self.slow_requests += 1
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -128,4 +168,5 @@ class ServiceMetrics:
                 "errors": self.errors,
                 "protocol_errors": self.protocol_errors,
                 "internal_errors": self.internal_errors,
+                "slow_requests": self.slow_requests,
             }

@@ -13,6 +13,12 @@ so a wire ``apply`` carries exactly what a journal line carries.  Relation
 results cross as sorted lists of lists — deterministic bytes for the same
 relation, which is what lets collapsed reads share one serialized result.
 
+Any request frame may additionally carry ``"trace": true``; the response
+then gains a ``trace`` field holding the request's span tree (trace id,
+per-phase timings, per-rule engine evaluation children — see
+:mod:`~..obs.trace`).  The ``slowlog`` op reads the server's ring buffer
+of requests that crossed the slow threshold.
+
 Framing problems raise :class:`~.errors.ProtocolError`, which the server
 answers typed (code ``PROTOCOL_ERROR``) without dropping the connection.
 """

@@ -16,6 +16,15 @@ that split:
   amortizes per batch.  Under load, batch sizes grow by themselves: while
   one batch commits, the queue refills.
 
+  The group fsync runs *inside* the session's write-lock scope: a
+  concurrent ``Session.close()`` (which also takes the write lock) can
+  therefore never detach and close the journal between the batch's apply
+  and its durability point.  If the fsync itself fails, the in-memory
+  engine is ahead of both the durable log and what clients were told —
+  the batch is reported failed *and the session is poisoned*: every later
+  write is refused with :class:`~.errors.SessionPoisonedError` (reads stay
+  allowed) instead of silently serving diverged state.
+
 * **Reads** fan out across a thread pool under the shared side of the
   session's readers-writer lock.  Identical in-flight reads — same session,
   same structure version, same query, same parameters — *collapse*: one
@@ -28,7 +37,15 @@ that split:
   ``max_queue_depth`` requests may be queued-or-running per session, and a
   request that waits in queue past its deadline is rejected with
   :class:`~.errors.OverloadError` *before* it consumes evaluation work.
+  A deadline of ``0`` means "expire immediately unless served at once" —
+  every deadline comparison is against ``None``, never truthiness.
   Callers see a typed, retryable error instead of a hung socket.
+
+* **Tracing**: both paths accept a :class:`~..obs.trace.Trace` and record
+  one span per phase they move the request through (queue wait, lock
+  waits, engine apply with per-rule children, group fsync, collapse
+  join — see :mod:`..obs.trace` for the taxonomy), alongside the fixed-
+  bucket latency histograms in :class:`~.metrics.SessionMetrics`.
 """
 
 from __future__ import annotations
@@ -40,7 +57,8 @@ from typing import Any, Callable, Hashable, Sequence
 
 from ..dynfo.errors import EngineError, JournalError
 from ..dynfo.requests import Request
-from .errors import OverloadError
+from ..obs.trace import Trace
+from .errors import OverloadError, SessionError, SessionPoisonedError
 from .session import Session
 
 __all__ = ["Scheduler", "WriteOutcome"]
@@ -50,14 +68,30 @@ class WriteOutcome:
     """What happened to one queued write: either ``stats`` (applied) or
     ``error`` (typed; the structure is untouched for this request)."""
 
-    __slots__ = ("request", "stats", "error", "enqueued_ns", "deadline", "done")
+    __slots__ = (
+        "request",
+        "stats",
+        "error",
+        "enqueued_ns",
+        "dequeued_ns",
+        "deadline",
+        "trace",
+        "done",
+    )
 
-    def __init__(self, request: Request, deadline: float | None = None) -> None:
+    def __init__(
+        self,
+        request: Request,
+        deadline: float | None = None,
+        trace: Trace | None = None,
+    ) -> None:
         self.request = request
         self.stats: dict[str, int] | None = None
         self.error: Exception | None = None
         self.enqueued_ns = time.monotonic_ns()
+        self.dequeued_ns = self.enqueued_ns
         self.deadline = deadline
+        self.trace = trace
         self.done = threading.Event()
 
     @property
@@ -123,11 +157,15 @@ class Scheduler:
     # -- writes ------------------------------------------------------------
 
     def apply(
-        self, session: Session, request: Request, deadline: float | None = None
+        self,
+        session: Session,
+        request: Request,
+        deadline: float | None = None,
+        trace: Trace | None = None,
     ) -> dict[str, int]:
         """Apply one write through the coalescing queue; blocks until the
         request's batch is durably committed (or it failed typed)."""
-        outcome = self.apply_script(session, [request], deadline)[0]
+        outcome = self.apply_script(session, [request], deadline, trace)[0]
         if outcome.error is not None:
             raise outcome.error
         assert outcome.stats is not None
@@ -138,6 +176,7 @@ class Scheduler:
         session: Session,
         requests: Sequence[Request],
         deadline: float | None = None,
+        trace: Trace | None = None,
     ) -> list[WriteOutcome]:
         """Enqueue a contiguous run of writes and wait for all of them.
 
@@ -146,8 +185,13 @@ class Scheduler:
         queued meanwhile.  Per-request outcomes come back in order."""
         if not requests:
             return []
+        if session.poisoned is not None:
+            raise SessionPoisonedError(
+                f"session {session.name!r} is poisoned ({session.poisoned}); "
+                "writes are refused until it is closed and reopened"
+            )
         deadline = self._admit_many(session, len(requests), deadline)
-        outcomes = [WriteOutcome(request, deadline) for request in requests]
+        outcomes = [WriteOutcome(request, deadline, trace) for request in requests]
         try:
             with session.queue_lock:
                 session.write_queue.extend(outcomes)
@@ -200,15 +244,96 @@ class Scheduler:
             finally:
                 session.writer_lock.release()
 
+    def _apply_one(self, session: Session, outcome: WriteOutcome) -> bool:
+        """Run one request through the engine under the exclusive lock,
+        recording the apply span (with per-rule children for detailed
+        traces).  Returns whether it was applied."""
+        engine = session.engine
+        trace = outcome.trace
+        if trace is None:
+            try:
+                engine.apply(outcome.request)
+            except EngineError as error:
+                outcome.error = error
+            except Exception as error:  # no raw tracebacks to clients
+                outcome.error = EngineError(
+                    f"applying {outcome.request} failed: {error}"
+                )
+            else:
+                outcome.stats = engine.last_update_stats
+                return True
+            return False
+        evals: list[tuple[str, str, int, int]] = []
+        if trace.detailed:
+            engine.eval_timing_hook = lambda kind, name, ns: evals.append(
+                (kind, name, time.monotonic_ns() - ns, ns)
+            )
+        started = time.monotonic_ns()
+        try:
+            engine.apply(outcome.request)
+        except EngineError as error:
+            outcome.error = error
+        except Exception as error:
+            outcome.error = EngineError(f"applying {outcome.request} failed: {error}")
+        finally:
+            if trace.detailed:
+                engine.eval_timing_hook = None
+        elapsed = time.monotonic_ns() - started
+        span = trace.record(
+            "engine_apply", started, elapsed, meta={"request": str(outcome.request)}
+        )
+        for kind, name, start_ns, ns in evals:
+            if kind == "journal":
+                trace.record("journal_append", start_ns, ns)
+            else:
+                span.add_child(f"eval:{name}", start_ns, ns, meta={"kind": kind})
+        if outcome.error is not None:
+            return False
+        outcome.stats = engine.last_update_stats
+        return True
+
     def _commit_batch(self, session: Session, batch: list[WriteOutcome]) -> None:
         """Apply one coalesced batch under the exclusive lock, sync the
-        journal once, then acknowledge every submitter."""
+        journal once *while still holding the lock* (so a concurrent close
+        cannot slip between apply and durability), then acknowledge every
+        submitter."""
         started = time.monotonic_ns()
         applied: list[WriteOutcome] = []
+        fsync_ns = 0
         session.rw.acquire_write()
+        lock_acquired = time.monotonic_ns()
+        lock_wait_ns = lock_acquired - started
         try:
             for outcome in batch:
-                wait_ns = outcome.wait_ns
+                outcome.dequeued_ns = time.monotonic_ns()
+                trace = outcome.trace
+                if trace is not None:
+                    trace.record(
+                        "queue_wait",
+                        outcome.enqueued_ns,
+                        outcome.dequeued_ns - outcome.enqueued_ns,
+                    )
+                    trace.record(
+                        "writer_lock_wait",
+                        started,
+                        lock_wait_ns,
+                        meta={"batch_size": len(batch)},
+                    )
+                if session.closed:
+                    # close() drained the readers and snapshotted; applying
+                    # now would ACK a write the closed journal never sees
+                    outcome.error = SessionError(
+                        f"session {session.name!r} closed while the write "
+                        "was queued; nothing was applied"
+                    )
+                    continue
+                if session.poisoned is not None:
+                    outcome.error = SessionPoisonedError(
+                        f"session {session.name!r} is poisoned "
+                        f"({session.poisoned}); the write was not applied"
+                    )
+                    continue
+                wait_ns = outcome.dequeued_ns - outcome.enqueued_ns
                 deadline = outcome.deadline
                 if deadline is not None and wait_ns > deadline * 1e9:
                     outcome.error = OverloadError(
@@ -218,32 +343,44 @@ class Scheduler:
                     )
                     session.metrics.record_overload()
                     continue
-                try:
-                    session.engine.apply(outcome.request)
-                except EngineError as error:
-                    outcome.error = error
-                except Exception as error:  # no raw tracebacks to clients
-                    outcome.error = EngineError(
-                        f"applying {outcome.request} failed: {error}"
-                    )
-                else:
-                    outcome.stats = session.engine.last_update_stats
+                if self._apply_one(session, outcome):
                     applied.append(outcome)
+            # the group-commit durability point, still under the write lock
+            journal = session.journal
+            if journal is not None and applied:
+                sync_started = time.monotonic_ns()
+                try:
+                    journal.sync()
+                except (OSError, JournalError) as error:
+                    # the engine is now ahead of the durable log: fail the
+                    # batch and refuse all future writes on this session
+                    session.poison(f"journal sync failed after apply: {error}")
+                    for outcome in applied:
+                        outcome.stats = None
+                        outcome.error = JournalError(
+                            f"journal sync failed after apply: {error}; "
+                            f"session {session.name!r} is now poisoned"
+                        )
+                fsync_ns = time.monotonic_ns() - sync_started
+                for outcome in applied:
+                    if outcome.trace is not None:
+                        outcome.trace.record(
+                            "journal_fsync",
+                            sync_started,
+                            fsync_ns,
+                            meta={"batch_size": len(applied)},
+                        )
         finally:
             session.rw.release_write()
-        journal = session.journal
-        if journal is not None:
-            try:
-                journal.sync()  # the group-commit durability point
-            except (OSError, JournalError) as error:
-                for outcome in applied:
-                    outcome.stats = None
-                    outcome.error = JournalError(
-                        f"journal sync failed after apply: {error}"
-                    )
-        session.metrics.record_batch(len(batch), time.monotonic_ns() - started)
+        session.metrics.record_batch(
+            len(batch), time.monotonic_ns() - started, fsync_ns
+        )
         for outcome in batch:
-            session.metrics.record_write(outcome.wait_ns, outcome.error is None)
+            session.metrics.record_write(
+                outcome.dequeued_ns - outcome.enqueued_ns,
+                outcome.wait_ns,
+                outcome.error is None,
+            )
             outcome.done.set()
 
     # -- reads -------------------------------------------------------------
@@ -254,6 +391,7 @@ class Scheduler:
         fn: Callable[[], Any],
         key: Hashable | None = None,
         deadline: float | None = None,
+        trace: Trace | None = None,
     ) -> Any:
         """Run ``fn`` under the shared reader lock on the thread pool.
 
@@ -264,7 +402,12 @@ class Scheduler:
         try:
             if key is None:
                 return self._pool.submit(
-                    self._execute_read, session, fn, time.monotonic_ns(), deadline
+                    self._execute_read,
+                    session,
+                    fn,
+                    time.monotonic_ns(),
+                    deadline,
+                    trace,
                 ).result()
             full_key = (session.name, session.version, key)
             with self._inflight_lock:
@@ -274,12 +417,12 @@ class Scheduler:
                     entry = _InFlightRead()
                     self._inflight[full_key] = entry
             if not leader:
-                return self._join_read(session, entry, deadline)
+                return self._join_read(session, entry, deadline, trace)
             try:
                 enqueued = time.monotonic_ns()
                 try:
                     entry.value = self._pool.submit(
-                        self._execute_read, session, fn, enqueued, deadline
+                        self._execute_read, session, fn, enqueued, deadline, trace
                     ).result()
                 except Exception as error:
                     entry.error = error
@@ -293,18 +436,28 @@ class Scheduler:
             self._release(session)
 
     def _join_read(
-        self, session: Session, entry: _InFlightRead, deadline: float | None
+        self,
+        session: Session,
+        entry: _InFlightRead,
+        deadline: float | None,
+        trace: Trace | None = None,
     ) -> Any:
         started = time.monotonic_ns()
-        if not entry.done.wait(timeout=deadline if deadline else 60.0):
+        # deadline 0 means "only if already done", not "no deadline"
+        timeout = 60.0 if deadline is None else deadline
+        joined = entry.done.wait(timeout=timeout)
+        elapsed = time.monotonic_ns() - started
+        if trace is not None:
+            trace.record(
+                "collapse_join", started, elapsed, meta={"joined": joined}
+            )
+        if not joined:
             session.metrics.record_overload()
             raise OverloadError(
                 f"collapsed read on session {session.name!r} exceeded its "
                 f"deadline waiting for the leading evaluation"
             )
-        session.metrics.record_read(
-            wait_ns=time.monotonic_ns() - started, exec_ns=0, collapsed=True
-        )
+        session.metrics.record_read(wait_ns=elapsed, exec_ns=0, collapsed=True)
         if entry.error is not None:
             raise entry.error
         return entry.value
@@ -315,22 +468,31 @@ class Scheduler:
         fn: Callable[[], Any],
         enqueued_ns: int,
         deadline: float | None,
+        trace: Trace | None = None,
     ) -> Any:
-        wait_ns = time.monotonic_ns() - enqueued_ns
+        picked_up = time.monotonic_ns()
+        wait_ns = picked_up - enqueued_ns
+        if trace is not None:
+            trace.record("worker_wait", enqueued_ns, wait_ns)
         if deadline is not None and wait_ns > deadline * 1e9:
             session.metrics.record_overload()
             raise OverloadError(
                 f"read waited {wait_ns / 1e9:.2f}s for a worker on session "
                 f"{session.name!r}, past its {deadline:.2f}s deadline"
             )
-        started = time.monotonic_ns()
         session.rw.acquire_read()
+        lock_acquired = time.monotonic_ns()
+        started = lock_acquired
         try:
             value = fn()
         finally:
             session.rw.release_read()
+        finished = time.monotonic_ns()
+        if trace is not None:
+            trace.record("read_lock_wait", picked_up, lock_acquired - picked_up)
+            trace.record("eval", started, finished - started)
         session.metrics.record_read(
-            wait_ns=wait_ns, exec_ns=time.monotonic_ns() - started
+            wait_ns=lock_acquired - enqueued_ns, exec_ns=finished - started
         )
         return value
 

@@ -9,9 +9,17 @@ the in-process client an honest test double for the socket one.
 ``handle`` never raises: every failure becomes a typed error response via
 :func:`~.errors.error_to_wire` (stable codes, no tracebacks).
 
+Observability: every request gets a :class:`~..obs.trace.Trace` the
+scheduler fills with per-phase spans.  A frame carrying ``"trace": true``
+gets the full span tree (plus per-rule engine timings) echoed back in the
+response's ``trace`` field; independently, any request slower than the
+slow-log threshold lands in the ring-buffer slow log together with the
+compiled plan of the rule or query it exercised (``slowlog`` wire op,
+``repro client slowlog``).
+
 Wire ops: ``ping``, ``open``, ``apply``, ``apply_script``, ``query``,
-``ask``, ``stats``, ``sessions``, ``save``, ``close``.  See
-docs/TUTORIAL.md §8 for the request shapes.
+``ask``, ``stats``, ``sessions``, ``slowlog``, ``save``, ``close``.  See
+docs/TUTORIAL.md §8-9 for the request shapes.
 """
 
 from __future__ import annotations
@@ -19,7 +27,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping
 
-from ..dynfo.requests import request_from_item
+from ..dynfo.requests import Delete, Insert, Operation, SetConst, request_from_item
+from ..obs.slowlog import SlowLog
+from ..obs.trace import Trace
 from .errors import ProtocolError, error_to_wire
 from .metrics import ServiceMetrics
 from .protocol import get_field, rows_to_wire
@@ -41,6 +51,8 @@ class DynFOService:
         max_queue_depth: int = 256,
         default_deadline: float | None = 30.0,
         programs: Mapping | None = None,
+        slowlog_capacity: int = 64,
+        slowlog_ms: float = 250.0,
     ) -> None:
         self.sessions = SessionManager(
             data_dir=data_dir, max_sessions=max_sessions, programs=programs
@@ -52,6 +64,7 @@ class DynFOService:
             default_deadline=default_deadline,
         )
         self.metrics = ServiceMetrics()
+        self.slowlog = SlowLog(capacity=slowlog_capacity, threshold_ms=slowlog_ms)
         self._ops = {
             "ping": self._op_ping,
             "open": self._op_open,
@@ -61,6 +74,7 @@ class DynFOService:
             "ask": self._op_ask,
             "stats": self._op_stats,
             "sessions": self._op_sessions,
+            "slowlog": self._op_slowlog,
             "save": self._op_save,
             "close": self._op_close,
         }
@@ -71,6 +85,7 @@ class DynFOService:
         """Dispatch one decoded frame; always returns a response frame."""
         rid = item.get("id") if isinstance(item, dict) else None
         self.metrics.record_request()
+        trace: Trace | None = None
         try:
             if not isinstance(item, dict):
                 raise ProtocolError(
@@ -82,12 +97,96 @@ class DynFOService:
                 raise ProtocolError(
                     f"unknown op {op!r}; available: {', '.join(sorted(self._ops))}"
                 )
-            result = handler(item)
+            session_name = item.get("session")
+            trace = Trace(
+                op=op,
+                session=session_name if isinstance(session_name, str) else None,
+                detailed=bool(item.get("trace")),
+            )
+            result = handler(item, trace)
         except Exception as error:
             wire = error_to_wire(error)
             self.metrics.record_error(wire["code"])
+            self._observe(item, trace, ok=False, error=wire.get("message"))
             return {"id": rid, "ok": False, "error": wire}
-        return {"id": rid, "ok": True, "result": result}
+        response = {"id": rid, "ok": True, "result": result}
+        if trace.detailed:
+            response["trace"] = trace.to_wire()
+        self._observe(item, trace, ok=True)
+        return response
+
+    # -- observability -----------------------------------------------------
+
+    def _observe(
+        self, item, trace: Trace | None, ok: bool, error: str | None = None
+    ) -> None:
+        """Feed the slow log; rendering the offending plan is deferred
+        until the threshold check says the request was actually slow."""
+        if trace is None:
+            return
+        total_ns = trace.total_ns
+        if not self.slowlog.is_slow(total_ns):
+            return
+        plan = self._render_slow_plan(item) if isinstance(item, dict) else None
+        if self.slowlog.observe(trace, total_ns, ok, plan=plan, error=error):
+            self.metrics.record_slow()
+
+    def _render_slow_plan(self, item: dict) -> str | None:
+        """The compiled physical plan behind a slow request — the rule the
+        write dispatched to, or the query it evaluated — as ``render_plan``
+        text.  Best effort: never raises into the response path."""
+        try:
+            from ..logic.explain import render_plan
+            from ..logic.plan import compile_formula
+
+            op = item.get("op")
+            session = self.sessions.get(item["session"])
+            program = session.engine.program
+            distribute = session.backend_name != "dense"
+
+            def render_definitions(owner: str, definitions) -> list[str]:
+                parts = []
+                for definition in definitions:
+                    frame = ", ".join(definition.frame)
+                    plan = compile_formula(
+                        definition.formula, definition.frame, distribute=distribute
+                    )
+                    parts.append(
+                        f"{owner} :: {definition.name}({frame})\n{render_plan(plan)}"
+                    )
+                return parts
+
+            if op in ("query", "ask"):
+                query = program.queries.get(item.get("name"))
+                if query is None:
+                    return None
+                return "\n".join(render_definitions("query", [query]))
+            if op in ("apply", "apply_script"):
+                if op == "apply":
+                    request = request_from_item(item.get("request"))
+                else:
+                    script = item.get("script") or []
+                    if not script:
+                        return None
+                    request = request_from_item(script[0])
+                if isinstance(request, Insert):
+                    rule = program.on_insert.get(request.rel)
+                elif isinstance(request, Delete):
+                    rule = program.on_delete.get(request.rel)
+                elif isinstance(request, SetConst):
+                    rule = program.on_set.get(request.name)
+                elif isinstance(request, Operation):
+                    rule = program.on_operation.get(request.name)
+                else:  # pragma: no cover - exhaustive over Request kinds
+                    rule = None
+                if rule is None:
+                    return None
+                parts = render_definitions(f"{request} [temp]", rule.temporaries)
+                parts += render_definitions(str(request), rule.definitions)
+                return "\n".join(parts)
+        except Exception:  # pragma: no cover - diagnostics must not raise
+            return None
+        return None
 
     # -- shared plumbing ---------------------------------------------------
 
@@ -122,10 +221,10 @@ class DynFOService:
 
     # -- ops ---------------------------------------------------------------
 
-    def _op_ping(self, item: dict) -> str:
+    def _op_ping(self, item: dict, trace: Trace) -> str:
         return "pong"
 
-    def _op_open(self, item: dict) -> dict:
+    def _op_open(self, item: dict, trace: Trace) -> dict:
         name = get_field(item, "session", str)
         program = get_field(item, "program", str, required=False)
         n = get_field(item, "n", int, required=False)
@@ -150,22 +249,24 @@ class DynFOService:
             "recovered": session.recovered,
         }
 
-    def _op_apply(self, item: dict) -> dict:
+    def _op_apply(self, item: dict, trace: Trace) -> dict:
         session = self._session(item)
         request = self._wire_request(get_field(item, "request", dict))
-        stats = self.scheduler.apply(session, request, self._deadline(item))
+        stats = self.scheduler.apply(
+            session, request, self._deadline(item), trace=trace
+        )
         return {
             "applied": 1,
             "requests_applied": session.engine.requests_applied,
             "stats": stats,
         }
 
-    def _op_apply_script(self, item: dict) -> dict:
+    def _op_apply_script(self, item: dict, trace: Trace) -> dict:
         session = self._session(item)
         script = get_field(item, "script", list)
         requests = [self._wire_request(entry) for entry in script]
         outcomes = self.scheduler.apply_script(
-            session, requests, self._deadline(item)
+            session, requests, self._deadline(item), trace=trace
         )
         errors = [
             {"index": i, "error": error_to_wire(outcome.error)}
@@ -178,7 +279,7 @@ class DynFOService:
             "errors": errors,
         }
 
-    def _op_query(self, item: dict) -> list[list[int]]:
+    def _op_query(self, item: dict, trace: Trace) -> list[list[int]]:
         session = self._session(item)
         name = get_field(item, "name", str)
         params = self._params(item)
@@ -189,6 +290,7 @@ class DynFOService:
                 lambda: session.engine.query(name, **params),
                 key=key,
                 deadline=self._deadline(item),
+                trace=trace,
             )
         except KeyError as error:
             raise ProtocolError(str(error)) from error
@@ -196,7 +298,7 @@ class DynFOService:
             raise ProtocolError(f"bad params for query {name!r}: {error}") from error
         return rows_to_wire(rows)
 
-    def _op_ask(self, item: dict) -> bool:
+    def _op_ask(self, item: dict, trace: Trace) -> bool:
         session = self._session(item)
         name = get_field(item, "name", str)
         params = self._params(item)
@@ -208,6 +310,7 @@ class DynFOService:
                     lambda: session.engine.ask(name, **params),
                     key=key,
                     deadline=self._deadline(item),
+                    trace=trace,
                 )
             )
         except KeyError as error:
@@ -215,7 +318,7 @@ class DynFOService:
         except TypeError as error:
             raise ProtocolError(f"bad params for query {name!r}: {error}") from error
 
-    def _op_stats(self, item: dict) -> dict:
+    def _op_stats(self, item: dict, trace: Trace) -> dict:
         which = get_field(item, "session", str, required=False)
         if which is not None:
             return {which: self.sessions.get(which).describe()}
@@ -227,14 +330,27 @@ class DynFOService:
                 "read_workers": self.scheduler.read_workers,
                 "max_batch": self.scheduler.max_batch,
                 "max_queue_depth": self.scheduler.max_queue_depth,
+                "slowlog_threshold_ms": self.slowlog.threshold_ms,
             },
             "sessions": self.sessions.describe(),
         }
 
-    def _op_sessions(self, item: dict) -> list[str]:
+    def _op_sessions(self, item: dict, trace: Trace) -> list[str]:
         return self.sessions.names()
 
-    def _op_save(self, item: dict) -> dict:
+    def _op_slowlog(self, item: dict, trace: Trace) -> dict:
+        which = get_field(item, "session", str, required=False)
+        limit = get_field(item, "limit", int, required=False)
+        payload = self.slowlog.snapshot()
+        if which is not None:
+            payload["entries"] = [
+                entry for entry in payload["entries"] if entry.get("session") == which
+            ]
+        if limit is not None and limit >= 0:
+            payload["entries"] = payload["entries"][:limit]
+        return payload
+
+    def _op_save(self, item: dict, trace: Trace) -> dict:
         session = self._session(item)
         session.save()
         return {
@@ -242,7 +358,7 @@ class DynFOService:
             "requests_applied": session.engine.requests_applied,
         }
 
-    def _op_close(self, item: dict) -> dict:
+    def _op_close(self, item: dict, trace: Trace) -> dict:
         name = get_field(item, "session", str)
         snapshot = get_field(item, "snapshot", bool, required=False)
         self.sessions.close(name, snapshot=True if snapshot is None else snapshot)

@@ -115,6 +115,10 @@ class Session:
         self.writer_lock = threading.Lock()
         self.pending = 0  # queued-or-running requests, for admission control
         self.closed = False
+        # set (under the rw write lock) when a group-commit sync failed
+        # after its batch was applied: the engine is ahead of the durable
+        # log, so further writes are refused (reads stay allowed)
+        self.poisoned: str | None = None
 
     @property
     def version(self) -> int:
@@ -127,6 +131,12 @@ class Session:
     def journal(self) -> RequestJournal | None:
         return self.engine.journal
 
+    def poison(self, reason: str) -> None:
+        """Mark the session write-dead: the in-memory engine no longer
+        matches what clients were told is durable.  First reason wins."""
+        if self.poisoned is None:
+            self.poisoned = reason
+
     def describe(self) -> dict:
         """The session's stats block (``stats`` wire op)."""
         info = {
@@ -136,6 +146,7 @@ class Session:
             "requests_applied": self.engine.requests_applied,
             "durable": self.directory is not None,
             "recovered": self.recovered,
+            "poisoned": self.poisoned,
             "plan_cache": self.engine.plan_cache_stats(),
         }
         journal = self.journal
@@ -352,18 +363,26 @@ class SessionManager:
     # -- lookup & lifecycle ------------------------------------------------
 
     def get(self, name: str) -> Session:
+        # snapshot the active names under the lock too: formatting the
+        # error from the live dict after dropping the lock can tear
+        # against a concurrent open/close mid-iteration
         with self._lock:
             session = self._sessions.get(name)
+            active = ", ".join(sorted(self._sessions)) or "none"
         if session is None or session.closed:
             raise SessionError(
-                f"no open session {name!r}; open it first "
-                f"(active: {', '.join(sorted(self._sessions)) or 'none'})"
+                f"no open session {name!r}; open it first (active: {active})"
             )
         return session
 
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._sessions)
+
+    def items(self) -> list[tuple[str, Session]]:
+        """A point-in-time (name, session) snapshot, for metrics walkers."""
+        with self._lock:
+            return sorted(self._sessions.items())
 
     def close(self, name: str, snapshot: bool = True) -> None:
         with self._lock:

@@ -1,0 +1,226 @@
+"""Unit tests for the observability primitives (``repro.obs``): fixed-bucket
+latency histograms, per-request traces, the slow-request ring buffer, and
+the Prometheus-style text exposition."""
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dynfo.requests import Insert
+from repro.obs import (
+    BUCKET_BOUNDS_US,
+    LatencyHistogram,
+    SlowLog,
+    Trace,
+    new_trace_id,
+    render_prometheus,
+    start_metrics_server,
+)
+from repro.obs.trace import render_trace
+from repro.service import DynFOService, ServiceClient
+
+
+# -- histograms ------------------------------------------------------------
+
+
+def test_bucket_ladder_shape():
+    assert BUCKET_BOUNDS_US[0] == 1
+    assert BUCKET_BOUNDS_US[-1] == 50_000_000  # 50 s
+    assert list(BUCKET_BOUNDS_US) == sorted(BUCKET_BOUNDS_US)
+    assert len(BUCKET_BOUNDS_US) == 24  # 1-2-5 ladder over 8 decades
+
+
+def test_empty_histogram_snapshot_is_zeroes():
+    snap = LatencyHistogram().snapshot()
+    assert snap == {
+        "count": 0,
+        "avg_us": 0.0,
+        "p50_us": 0.0,
+        "p95_us": 0.0,
+        "p99_us": 0.0,
+        "max_us": 0.0,
+    }
+
+
+def test_percentiles_land_in_covering_buckets():
+    hist = LatencyHistogram()
+    for _ in range(99):
+        hist.record(3_000)  # 3 us -> bucket (2, 5]
+    hist.record(40_000_000)  # one 40 ms outlier
+    snap = hist.snapshot()
+    assert snap["count"] == 100
+    assert snap["p50_us"] == 5  # upper bound of the covering bucket
+    assert snap["p95_us"] == 5
+    assert snap["p99_us"] == 5
+    assert snap["max_us"] == 40_000.0
+
+
+def test_percentile_clamps_to_observed_max():
+    hist = LatencyHistogram()
+    hist.record(1_200)  # 1.2 us -> bucket (1, 2], bound 2 us
+    assert hist.percentile_us(0.5) == pytest.approx(1.2)
+
+
+def test_overflow_bucket_reports_max():
+    hist = LatencyHistogram()
+    hist.record(120 * 10**9)  # 2 minutes, past the 50 s ladder
+    assert hist.percentile_us(0.99) == pytest.approx(120e6, rel=1e-3)
+    buckets = hist.cumulative_buckets()
+    assert buckets[-1] == (float("inf"), 1)
+    assert all(count == 0 for _, count in buckets[:-1])
+
+
+def test_cumulative_buckets_are_monotone_and_complete():
+    hist = LatencyHistogram()
+    for ns in (500, 1_500, 80_000, 3_000_000):
+        hist.record(ns)
+    buckets = hist.cumulative_buckets()
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1] == (float("inf"), 4)
+    assert len(buckets) == len(BUCKET_BOUNDS_US) + 1
+
+
+# -- traces ----------------------------------------------------------------
+
+
+def test_trace_ids_are_unique_hex():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+def test_trace_to_wire_is_relative_and_nested():
+    trace = Trace("apply", session="s", detailed=True)
+    origin = trace.origin_ns
+    span = trace.record("engine_apply", origin + 1_000, 5_000, meta={"request": "x"})
+    span.add_child("eval:R", origin + 2_000, 1_000, meta={"kind": "definition"})
+    wire = trace.to_wire(total_ns=10_000)
+    assert wire["op"] == "apply" and wire["session"] == "s"
+    assert wire["total_us"] == 10.0
+    (parent,) = wire["spans"]
+    assert parent["name"] == "engine_apply"
+    assert parent["start_us"] == 1.0 and parent["duration_us"] == 5.0
+    (child,) = parent["spans"]
+    assert child["name"] == "eval:R" and child["meta"] == {"kind": "definition"}
+    assert "spans_dropped" not in wire
+
+
+def test_trace_caps_span_count():
+    trace = Trace("apply")
+    for i in range(Trace.MAX_SPANS + 7):
+        trace.record("queue_wait", trace.origin_ns, i)
+    wire = trace.to_wire(total_ns=0)
+    assert len(wire["spans"]) == Trace.MAX_SPANS
+    assert wire["spans_dropped"] == 7
+
+
+def test_render_trace_is_readable():
+    trace = Trace("query", session="chat")
+    trace.record("eval", trace.origin_ns + 500, 2_500)
+    text = render_trace(trace.to_wire(total_ns=3_000))
+    assert text.splitlines()[0].startswith(f"trace {trace.trace_id} :: query on 'chat'")
+    assert "eval" in text and "2.5 us" in text
+
+
+# -- slow log --------------------------------------------------------------
+
+
+def test_slowlog_threshold_and_ring():
+    log = SlowLog(capacity=2, threshold_ms=1.0)
+    fast = Trace("ask")
+    assert not log.observe(fast, total_ns=500_000, ok=True)  # 0.5 ms: fast
+    for index in range(3):
+        trace = Trace("query", session=f"s{index}")
+        assert log.observe(trace, total_ns=5_000_000, ok=True, plan="Scan(E)")
+    snap = log.snapshot()
+    assert snap["threshold_ms"] == 1.0 and snap["capacity"] == 2
+    assert snap["dropped"] == 1  # the ring evicted the oldest
+    assert [entry["session"] for entry in snap["entries"]] == ["s2", "s1"]
+    assert all(entry["plan"] == "Scan(E)" for entry in snap["entries"])
+    assert snap["entries"][0]["duration_ms"] == 5.0
+
+
+def test_slowlog_limit_and_error_entries():
+    log = SlowLog(capacity=8, threshold_ms=0.0)
+    log.observe(Trace("apply"), total_ns=1, ok=False, error="boom")
+    log.observe(Trace("apply"), total_ns=1, ok=True)
+    snap = log.snapshot(limit=1)
+    assert len(snap["entries"]) == 1 and snap["entries"][0]["ok"] is True
+    full = log.snapshot()
+    assert full["entries"][1]["error"] == "boom"
+
+
+def test_slowlog_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        SlowLog(capacity=0)
+    with pytest.raises(ValueError):
+        SlowLog(threshold_ms=-1.0)
+
+
+def test_slowlog_is_thread_safe():
+    log = SlowLog(capacity=16, threshold_ms=0.0)
+
+    def hammer():
+        for _ in range(50):
+            log.observe(Trace("ask"), total_ns=1_000, ok=True)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    snap = log.snapshot()
+    assert len(snap["entries"]) == 16
+    assert snap["dropped"] == 4 * 50 - 16
+
+
+# -- prometheus exposition -------------------------------------------------
+
+
+def _tiny_service() -> DynFOService:
+    service = DynFOService(read_workers=2)
+    client = ServiceClient(service)
+    client.open("m", "reach_u", n=6)
+    client.apply("m", Insert("E", 0, 1))
+    client.ask("m", "reach", s=0, t=1)
+    return service
+
+
+def test_render_prometheus_carries_counters_and_histograms():
+    service = _tiny_service()
+    try:
+        body = render_prometheus(service)
+    finally:
+        service.close(snapshot=False)
+    assert "dynfo_service_requests_total" in body
+    assert 'dynfo_session_writes_total{session="m"} 1' in body
+    assert '_bucket{le="+Inf",session="m"}' in body
+    read_lines = [
+        line
+        for line in body.splitlines()
+        if line.startswith("dynfo_read_latency_seconds_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in read_lines]
+    assert counts == sorted(counts) and counts[-1] >= 1  # cumulative
+
+
+def test_metrics_http_endpoint_serves_and_404s():
+    service = _tiny_service()
+    server = start_metrics_server(service, port=0)
+    host, port = server.server_address[:2]
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}/metrics") as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            body = response.read().decode()
+        assert "dynfo_uptime_seconds" in body
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(f"http://{host}:{port}/nope")
+        assert caught.value.code == 404
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close(snapshot=False)

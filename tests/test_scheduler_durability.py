@@ -1,0 +1,405 @@
+"""Regression tests for the scheduler durability sweep.
+
+Three bugs, each with a deterministic failing-before/passing-after test:
+
+* ``Session.close()`` could detach and close the journal between a batch's
+  engine apply and its group-commit ``sync()`` — an acknowledged write that
+  was never durable.  The sync now runs *inside* the write-lock scope, so
+  close (which also takes the write lock) must wait for the durability
+  point.
+* A failed group-commit sync used to fail the batch but leave the session
+  serving writes whose in-memory effects were ahead of the durable log.
+  It now poisons the session: writes are refused typed
+  (``SessionPoisonedError``), reads stay allowed.
+* ``deadline=0`` fell through truthiness checks and meant "no deadline".
+  Every deadline comparison is now against ``None``; zero means "expire
+  immediately unless served at once".
+
+Plus the lock-scope fix for :meth:`SessionManager.get`'s error message and
+a writers/closers/zero-deadline-readers stress run under injected faults.
+"""
+
+import collections
+import threading
+import time
+
+import pytest
+
+from repro.dynfo.engine import DynFOEngine
+from repro.dynfo.errors import EngineError, JournalError
+from repro.dynfo.journal import read_journal
+from repro.dynfo.requests import Delete, Insert
+from repro.programs import PROGRAM_FACTORIES
+from repro.service import (
+    DynFOService,
+    OverloadError,
+    ServiceClient,
+    SessionError,
+    SessionManager,
+    SessionPoisonedError,
+    code_for,
+)
+
+
+def make_service(**kwargs) -> DynFOService:
+    kwargs.setdefault("read_workers", 4)
+    return DynFOService(**kwargs)
+
+
+class _HookedJournal:
+    """Delegates to a real journal, running a callback before each sync —
+    the deterministic interleaving probe for the close/sync race."""
+
+    def __init__(self, inner, on_sync):
+        self._inner = inner
+        self._on_sync = on_sync
+
+    def sync(self):
+        self._on_sync()
+        return self._inner.sync()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _FlakySyncJournal:
+    """Delegates to a real journal; ``sync`` raises once per arming."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.fail_next = False
+
+    def sync(self):
+        if self.fail_next:
+            self.fail_next = False
+            raise OSError("injected: device lost mid-fsync")
+        return self._inner.sync()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+# -- bug 1: close cannot slip between apply and sync ------------------------
+
+
+def test_close_waits_for_the_group_commit_sync(tmp_path):
+    """A close racing a committing batch must block until the batch's
+    durability point.  Before the fix, the close ran between ``apply`` and
+    ``sync()``, detached the journal, and the sync failed — an ACKed-but-
+    not-durable write.  The hook starts a close *during* the sync and
+    observes it blocked on the write lock."""
+    service = make_service(data_dir=tmp_path)
+    try:
+        manager = service.sessions
+        session = manager.open("race", "reach_u", n=8)
+        inner = session.engine.journal
+        probe: dict = {}
+
+        def on_sync():
+            closer = threading.Thread(
+                target=manager.close, args=("race",), kwargs={"snapshot": False}
+            )
+            closer.start()
+            closer.join(timeout=0.5)
+            probe["closer"] = closer
+            probe["close_blocked_during_sync"] = closer.is_alive()
+
+        session.engine.attach_journal(_HookedJournal(inner, on_sync))
+
+        stats = service.scheduler.apply(session, Insert("E", 0, 1))
+        assert stats is not None  # the write was ACKed without error
+        probe["closer"].join(timeout=5.0)
+        assert not probe["closer"].is_alive()
+        # the decisive assertion: close could not complete mid-sync
+        assert probe["close_blocked_during_sync"]
+        # and the ACK was honest — the entry is durable on disk
+        entries = read_journal(tmp_path / "race" / "journal.ndjson")
+        assert [request for _, request in entries] == [Insert("E", 0, 1)]
+        assert session.closed
+    finally:
+        service.close(snapshot=False)
+
+
+def test_write_queued_behind_a_close_fails_typed_not_silent(tmp_path):
+    """A write still queued when the session closes must come back as a
+    typed SessionError — not be applied into a detached engine."""
+    service = make_service(data_dir=tmp_path)
+    try:
+        manager = service.sessions
+        session = manager.open("q", "reach_u", n=8)
+        inner = session.engine.journal
+
+        def close_now():
+            # runs inside the first batch's sync: the close enqueues behind
+            # the write lock and lands before the second write drains
+            threading.Thread(
+                target=manager.close, args=("q",), kwargs={"snapshot": False}
+            ).start()
+
+        hooked = _HookedJournal(inner, close_now)
+        session.engine.attach_journal(hooked)
+        service.scheduler.apply(session, Insert("E", 0, 1))
+        deadline = time.monotonic() + 5.0
+        while not session.closed and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert session.closed
+        with pytest.raises(SessionError, match="closed while the write was queued"):
+            service.scheduler.apply(session, Insert("E", 1, 2))
+        entries = read_journal(tmp_path / "q" / "journal.ndjson")
+        assert [request for _, request in entries] == [Insert("E", 0, 1)]
+    finally:
+        service.close(snapshot=False)
+
+
+# -- bug 2: failed sync poisons the session ---------------------------------
+
+
+def test_failed_group_sync_poisons_the_session(tmp_path):
+    service = make_service(data_dir=tmp_path)
+    try:
+        manager = service.sessions
+        session = manager.open("p", "reach_u", n=8)
+        flaky = _FlakySyncJournal(session.engine.journal)
+        session.engine.attach_journal(flaky)
+        client = ServiceClient(service)
+
+        flaky.fail_next = True
+        with pytest.raises(JournalError, match="poisoned"):
+            service.scheduler.apply(session, Insert("E", 0, 1))
+
+        # every later write is refused with the typed, wire-stable error
+        with pytest.raises(SessionPoisonedError, match="poisoned"):
+            service.scheduler.apply(session, Insert("E", 1, 2))
+        with pytest.raises(SessionPoisonedError):
+            client.apply("p", Insert("E", 2, 3))
+        with pytest.raises(SessionPoisonedError):
+            client.apply_script("p", [Insert("E", 3, 4)])
+        assert code_for(SessionPoisonedError("x")) == "SESSION_POISONED"
+
+        # reads stay allowed (the divergence is documented in the reason)
+        assert isinstance(client.ask("p", "reach", s=0, t=1), bool)
+        assert "sync failed" in client.stats("p")["p"]["poisoned"]
+
+        # close + reopen is the recovery path: the journal replay yields a
+        # session whose state matches the durable log again
+        manager.close("p", snapshot=False)
+        reopened = manager.open("p", "reach_u", n=8)
+        assert reopened.poisoned is None
+        service.scheduler.apply(reopened, Insert("E", 5, 6))
+        assert reopened.engine.ask("reach", s=5, t=6)
+    finally:
+        service.close(snapshot=False)
+
+
+# -- bug 3: deadline zero means "expire immediately" ------------------------
+
+
+def test_zero_deadline_write_expires_instead_of_waiting_forever():
+    service = make_service()
+    try:
+        session = service.sessions.open("z", "reach_u", n=6)
+        with pytest.raises(OverloadError, match="deadline"):
+            service.scheduler.apply(session, Insert("E", 0, 1), deadline=0.0)
+        assert session.engine.requests_applied == 0
+        assert session.metrics.snapshot()["overloads"] >= 1
+        # a None deadline still means "no deadline": the write commits
+        service.scheduler.apply(session, Insert("E", 0, 1), deadline=None)
+        assert session.engine.requests_applied == 1
+    finally:
+        service.close(snapshot=False)
+
+
+def test_zero_deadline_collapsed_read_expires_immediately():
+    service = make_service()
+    try:
+        session = service.sessions.open("z2", "reach_u", n=6)
+        release = threading.Event()
+        leader_result: list = []
+
+        def slow_eval():
+            release.wait(timeout=10.0)
+            return 42
+
+        leader = threading.Thread(
+            target=lambda: leader_result.append(
+                service.scheduler.read(session, slow_eval, key=("probe",))
+            )
+        )
+        leader.start()
+        deadline = time.monotonic() + 5.0
+        while not service.scheduler._inflight and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.scheduler._inflight, "leader never registered in-flight"
+
+        started = time.monotonic()
+        with pytest.raises(OverloadError, match="deadline"):
+            service.scheduler.read(
+                session, slow_eval, key=("probe",), deadline=0.0
+            )
+        # before the fix, deadline=0 meant a 60s wait on the leader
+        assert time.monotonic() - started < 5.0
+
+        release.set()
+        leader.join(timeout=10.0)
+        assert leader_result == [42]
+    finally:
+        release.set()
+        service.close(snapshot=False)
+
+
+# -- SessionManager.get formats its error under the lock --------------------
+
+
+def test_get_error_lists_active_sessions():
+    manager = SessionManager()
+    manager.open("alpha", "reach_u", n=4)
+    manager.open("beta", "reach_u", n=4)
+    with pytest.raises(SessionError, match=r"active: alpha, beta"):
+        manager.get("ghost")
+    manager.close_all(snapshot=False)
+    with pytest.raises(SessionError, match=r"active: none"):
+        manager.get("alpha")
+
+
+# -- stress: writers + closers + zero-deadline readers under faults ---------
+
+
+@pytest.mark.timeout(120)
+def test_stress_durability_under_churn_and_faults(tmp_path):
+    """Writer threads, a closer/reopener cycling the session, zero-deadline
+    readers, out-of-universe poison pills, and a journal whose sync fails
+    every few batches.  Invariants checked afterwards:
+
+    * every error any thread saw was a *typed* service/engine error;
+    * every ACKed write is present in the durable journal (ACK => durable);
+    * replaying the journal into a fresh engine agrees with the state a
+      recovery open reconstructs (journal/engine agreement).
+    """
+    service = make_service(data_dir=tmp_path, max_queue_depth=64)
+    manager, scheduler = service.sessions, service.scheduler
+    name = "storm"
+    sync_counter = {"n": 0}
+
+    class _EveryNthSyncFails:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def sync(self):
+            sync_counter["n"] += 1
+            if sync_counter["n"] % 5 == 0:
+                raise OSError("injected: flaky device")
+            return self._inner.sync()
+
+        def __getattr__(self, attr):
+            return getattr(self._inner, attr)
+
+    open_lock = threading.Lock()
+
+    def open_session():
+        with open_lock:
+            session = manager.open(name, "reach_u", n=8)
+            if not isinstance(session.engine.journal, _EveryNthSyncFails):
+                session.engine.attach_journal(
+                    _EveryNthSyncFails(session.engine.journal)
+                )
+            return session
+
+    open_session()
+    acked: collections.Counter = collections.Counter()
+    acked_lock = threading.Lock()
+    unexpected: list = []
+    typed = (
+        SessionError,
+        SessionPoisonedError,
+        OverloadError,
+        JournalError,
+        EngineError,
+    )
+
+    def writer(seed: int) -> None:
+        for i in range(40):
+            a, b = (seed + i) % 8, (seed + 3 * i + 1) % 8
+            request = (
+                Insert("E", a, b) if (seed + i) % 3 else Delete("E", a, b)
+            )
+            if i % 13 == 7:
+                request = Insert("E", a, 99)  # out of universe: typed reject
+            try:
+                session = open_session()
+                scheduler.apply(session, request, deadline=5.0)
+            except typed:
+                continue
+            except Exception as error:  # pragma: no cover - the failure mode
+                unexpected.append(error)
+                return
+            if request.tup != (a, 99):
+                with acked_lock:
+                    acked[(type(request).__name__, request.rel, request.tup)] += 1
+
+    def closer() -> None:
+        for i in range(12):
+            time.sleep(0.02)
+            try:
+                manager.close(name, snapshot=bool(i % 2))
+            except typed:
+                pass
+            except Exception as error:  # pragma: no cover
+                unexpected.append(error)
+                return
+
+    def reader(seed: int) -> None:
+        for i in range(50):
+            deadline = 0.0 if i % 3 == 0 else 2.0
+            try:
+                session = manager.get(name)
+                scheduler.read(
+                    session,
+                    lambda s=session: s.engine.ask(
+                        "reach", s=seed % 8, t=(seed + i) % 8
+                    ),
+                    key=("reach", seed % 8, (seed + i) % 8),
+                    deadline=deadline,
+                )
+            except typed:
+                continue
+            except Exception as error:  # pragma: no cover
+                unexpected.append(error)
+                return
+
+    threads = (
+        [threading.Thread(target=writer, args=(s,)) for s in range(3)]
+        + [threading.Thread(target=closer)]
+        + [threading.Thread(target=reader, args=(s,)) for s in range(2)]
+    )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90.0)
+    assert not any(thread.is_alive() for thread in threads), "stress run wedged"
+    assert unexpected == [], f"untyped errors escaped: {unexpected!r}"
+
+    service.close(snapshot=False)
+
+    # ACK => durable: every acknowledged request appears in the journal
+    entries = read_journal(tmp_path / name / "journal.ndjson")
+    journaled: collections.Counter = collections.Counter(
+        (type(request).__name__, request.rel, request.tup) for _, request in entries
+    )
+    for key, count in acked.items():
+        assert journaled[key] >= count, (
+            f"ACKed write {key} x{count} missing from the durable journal "
+            f"(journal has {journaled[key]})"
+        )
+
+    # journal/engine agreement: a recovery open and a from-scratch replay
+    # of the durable log answer every reach query identically
+    recovered = SessionManager(data_dir=tmp_path).open(name)
+    replayed = DynFOEngine(PROGRAM_FACTORIES["reach_u"](), 8)
+    for _, request in entries:
+        replayed.apply(request)
+    for s in range(8):
+        for t in range(8):
+            assert recovered.engine.ask("reach", s=s, t=t) == replayed.ask(
+                "reach", s=s, t=t
+            ), f"recovered state diverges from journal replay at reach({s},{t})"
+    recovered.close(snapshot=False)
