@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Emit the machine-readable benchmarks: BENCH_plan_cache.json, with
-``--service`` the serving-layer E22 payload BENCH_service.json, and with
-``--obs`` the observability-overhead E23 payload BENCH_obs.json.
+``--service`` the serving-layer E22 payload BENCH_service.json, with
+``--obs`` the observability-overhead E23 payload BENCH_obs.json, and with
+``--delta`` the delta-path E24 payload BENCH_delta.json.
 
 Usage (from the repo root)::
 
@@ -10,6 +11,7 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/emit.py --no-baseline    # skip git arm
     PYTHONPATH=src python benchmarks/emit.py --service        # E22 payload
     PYTHONPATH=src python benchmarks/emit.py --obs            # E23 payload
+    PYTHONPATH=src python benchmarks/emit.py --delta          # E24 payload
 
 Equivalent to ``dynfo bench --bench-json BENCH_plan_cache.json``; the
 measurement kernels live in :mod:`repro.bench.plan_cache` and
@@ -69,7 +71,40 @@ def main(argv=None) -> int:
         "instead of the plan-cache one; exits nonzero if detailed tracing "
         "costs more than the gate on the hot read",
     )
+    parser.add_argument(
+        "--delta",
+        action="store_true",
+        help="emit the delta-path E24 payload (BENCH_delta.json) instead of "
+        "the plan-cache one; reports the delta-vs-full speedup, the journal "
+        "bytes reduction, and the history-independence flatness ratio",
+    )
     args = parser.parse_args(argv)
+    if args.delta:
+        from repro.bench.delta import collect as collect_delta
+        from repro.bench.delta import write_json as write_delta_json
+
+        out = args.out
+        if out == "BENCH_plan_cache.json":  # the plan-cache default
+            out = "BENCH_delta.json"
+        payload = collect_delta(quick=args.quick)
+        path = write_delta_json(out, payload)
+        relational = payload["arms"]["relational"]
+        curve = payload["history_independence"]
+        print(
+            f"reach_u n={relational['delta']['n']} relational: "
+            f"{relational['speedup_x']}x delta vs full "
+            f"({relational['full']['per_update_ns']} -> "
+            f"{relational['delta']['per_update_ns']} ns/update); "
+            f"journal {relational['journal_reduction_x']}x smaller "
+            f"({relational['full']['journal_bytes_per_update']} -> "
+            f"{relational['delta']['journal_bytes_per_update']} B/update)"
+        )
+        print(
+            f"history independence: flatness {curve['flatness_ratio']} over "
+            f"{curve['steps']} steps (n={curve['n']})"
+        )
+        print(f"wrote {path}")
+        return 0
     if args.obs:
         from repro.bench.obs import collect as collect_obs
         from repro.bench.obs import write_json as write_obs_json

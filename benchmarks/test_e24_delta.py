@@ -1,0 +1,69 @@
+"""E24 — Delta-path smoke: differential staging never loses to full
+rematerialization, and effect-record journals shrink with the delta.
+
+Marked ``quick`` so CI can run it without pytest-benchmark as a regression
+tripwire for the delta pipeline (``pytest benchmarks -m quick``); the
+machine-readable trajectory lives in BENCH_delta.json
+(``python benchmarks/emit.py --delta``).
+"""
+
+import pytest
+
+from repro.bench.delta import measure_history_curve, measure_mode
+from repro.dynfo import DynFOEngine
+from repro.programs import make_reach_u_program
+from repro.workloads import undirected_script
+
+pytestmark = pytest.mark.quick
+
+# The regression gate: on the tiny smoke workload the delta path's wins are
+# modest (indexes and specialization amortize with scale), but it must never
+# run meaningfully slower than the full path it replaces.
+GATE = 1.1
+
+
+def test_delta_not_slower_than_full_smoke():
+    delta = measure_mode(use_delta=True, n=12, steps=30)
+    full = measure_mode(use_delta=False, n=12, steps=30)
+    assert delta["per_update_ns"] <= full["per_update_ns"] * GATE, (
+        f"delta path regressed: {delta['per_update_ns']} ns/update vs "
+        f"{full['per_update_ns']} full (gate {GATE}x)"
+    )
+
+
+def test_delta_journal_bytes_shrink():
+    delta = measure_mode(use_delta=True, n=12, steps=30)
+    full = measure_mode(use_delta=False, n=12, steps=30)
+    assert (
+        delta["journal_bytes_per_update"] < full["journal_bytes_per_update"]
+    ), "delta effect records should be smaller than full-rewrite records"
+
+
+def test_specialized_plans_cache_hits():
+    """Repeated parameter values must hit the specialized-plan cache, not
+    respecialize: replaying the same script again adds zero misses."""
+    engine = DynFOEngine(make_reach_u_program(), 8, use_delta=True)
+    script = undirected_script(8, 30, seed=2)
+    for request in script:
+        engine.apply(request)
+    first = engine.specialized_plan_cache_stats()
+    assert first["misses"] >= 1
+    for request in script:
+        engine.apply(request)
+    second = engine.specialized_plan_cache_stats()
+    assert second["misses"] == first["misses"]
+    assert second["hits"] >= first["hits"] + len(script)
+
+
+def test_full_mode_records_displacement_stats():
+    """The no-delta arm still accounts tuples_added/removed (displacement
+    of the rewritten relations) so dashboards stay comparable."""
+    full = measure_mode(use_delta=False, n=10, steps=20)
+    assert full["tuples_added_total"] >= 0
+    assert full["mode"] == "full"
+
+
+def test_history_curve_smoke():
+    curve = measure_history_curve(n=8, steps=200, buckets=4)
+    assert len(curve["bucket_median_ns"]) == 4
+    assert curve["flatness_ratio"] >= 1.0

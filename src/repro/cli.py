@@ -170,12 +170,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             audit_every=args.audit_every,
             journal=journal,
             max_rows=args.max_rows,
+            use_delta=not args.no_delta,
         )
     finally:
         if journal is not None:
             journal.close()
     elapsed = time.perf_counter() - start
     extras = []
+    if args.no_delta:
+        extras.append("delta staging disabled (full rematerialization)")
     if args.audit_every:
         extras.append(f"integrity-audited every {args.audit_every} requests")
     if args.journal:
@@ -190,7 +193,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from .logic.explain import render_plan
-    from .logic.plan import compile_formula
+    from .logic.plan import compile_formula, specialize_plan
 
     name = args.program
     if name not in PROGRAM_FACTORIES:
@@ -203,6 +206,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     program = PROGRAM_FACTORIES[name]()
     # the one backend-sensitive compile choice; see logic/plan.py
     distribute = args.backend != "dense"
+    params = (
+        _parse_params([p for p in args.params.split(",") if p])
+        if args.params
+        else None
+    )
 
     def show(owner: str, definitions) -> None:
         for definition in definitions:
@@ -212,6 +220,10 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                 definition.formula, definition.frame, distribute=distribute
             )
             print(render_plan(plan))
+            if params:
+                bindings = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+                print(f"\n{owner} :: {definition.name}({frame}) [{bindings}]")
+                print(render_plan(specialize_plan(plan, params, args.n)))
 
     rules = []
     for kind, table in (
@@ -552,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="materialization budget per update (rows for the relational "
         "backend); typed EngineError when exceeded",
     )
+    verify.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="disable delta-restricted staging and run the full "
+        "rematerialization path (escape hatch; see DESIGN §5e)",
+    )
     verify.set_defaults(fn=_cmd_verify)
 
     explain = sub.add_parser(
@@ -576,6 +594,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="NAME",
         help="only these named queries; repeatable",
+    )
+    explain.add_argument(
+        "--params",
+        default=None,
+        metavar="P",
+        help="comma-separated update-parameter bindings (e.g. 'i=3,j=7'); "
+        "renders the parameter-specialized plan next to each generic rule "
+        "plan",
+    )
+    explain.add_argument(
+        "--n",
+        type=int,
+        default=8,
+        metavar="N",
+        help="universe size for --params specialization (min/max fold to "
+        "0 and N-1)",
     )
     explain.set_defaults(fn=_cmd_explain)
 

@@ -93,6 +93,7 @@ class DynFOEngine:
         audit_every: int = 0,
         journal: "RequestJournal | None" = None,
         max_rows: int | None = None,
+        use_delta: bool = True,
     ) -> None:
         if isinstance(backend, str):
             if backend not in BACKENDS:
@@ -123,6 +124,18 @@ class DynFOEngine:
             if max_rows <= 0:
                 raise ValueError(f"max_rows must be positive, got {max_rows}")
         self._compiled = program.compile(self.backend_name, n) if self._use_plans else None
+        # The differential update path (PR 5): parameter-specialized plans,
+        # indexed atom probes, symmetric-difference staging, and (dense) an
+        # in-place-patched relation-tensor cache.  False restores the PR-4
+        # full-rematerialization path: generic plans, full scans, wholesale
+        # set_relation staging — the `--no-delta` escape hatch.
+        self.use_delta = use_delta
+        # relation name -> (version, ndarray); patched in place after each
+        # commit so the dense backend stops rebuilding every tensor per
+        # request.  Only the delta path maintains it.
+        self._dense_cache: dict | None = (
+            {} if use_delta and self.backend_name == "dense" and self._use_plans else None
+        )
         self.program = program
         self.n = n
         self.structure = program.initial(n)
@@ -144,6 +157,8 @@ class DynFOEngine:
             "relations_redefined": 0,
             "tuples_written": 0,
             "temporary_tuples": 0,
+            "tuples_added": 0,
+            "tuples_removed": 0,
         }
         # observability hook: when set, called as hook(kind, name, ns) for
         # every temporary/primed-relation evaluation and journal append of
@@ -176,20 +191,46 @@ class DynFOEngine:
         rule, params, mirror = self._dispatch(request)
         batch, stats = self._stage(request, rule, params, mirror)
         if self._journal is not None:
-            hook = self.eval_timing_hook
-            if hook is None:
-                self._journal.append(self.requests_applied, request)
+            journal = self._journal
+            # getattr: tests attach duck-typed journal shims without the flag
+            effects = (
+                batch.effects()
+                if getattr(journal, "record_effects", False)
+                else None
+            )
+            if effects is not None:
+                append = lambda: journal.append(  # noqa: E731
+                    self.requests_applied, request, effects=effects
+                )
             else:
-                started = _monotonic_ns()
-                self._journal.append(self.requests_applied, request)
-                hook("journal", "append", _monotonic_ns() - started)
+                # positional-only call keeps duck-typed journal shims
+                # (tests, fault injectors) working without the new kwarg
+                append = lambda: journal.append(self.requests_applied, request)  # noqa: E731
+            self._timed_execute("journal", "append", append)
+        patchable = (
+            self._dense_cache_prepare(batch) if self._dense_cache is not None else None
+        )
         batch.commit()
+        if patchable:
+            self._dense_cache_patch(batch, patchable)
         self.last_update_stats = stats
         self.requests_applied += 1
         if self.audit_every > 0:
             self._audit_log.append(request)
             if self.requests_applied % self.audit_every == 0:
                 self.audit()
+
+    def _timed_execute(self, kind: str, name: str, thunk):
+        """Run ``thunk``, reporting its wall time to ``eval_timing_hook``
+        (when one is set) as ``hook(kind, name, ns)``.  The disabled path is
+        one load-and-test — cheap enough for every evaluation site."""
+        hook = self.eval_timing_hook
+        if hook is None:
+            return thunk()
+        started = _monotonic_ns()
+        result = thunk()
+        hook(kind, name, _monotonic_ns() - started)
+        return result
 
     def _stage(
         self,
@@ -202,60 +243,57 @@ class DynFOEngine:
         ``self.structure``."""
         source = self.structure
         temporary_tuples = 0
-        hook = self.eval_timing_hook
+        use_delta = self.use_delta
         try:
-            # compiled once per (rule, backend, n), then a cache hit forever
-            compiled = (
-                self._compiled.rule_plans(rule) if self._compiled is not None else None
-            )
+            # compiled once per (rule, backend, n), then a cache hit forever;
+            # the delta path additionally folds the bound parameters into the
+            # plans (cached per (rule, param values))
+            if self._compiled is None:
+                compiled = None
+            elif use_delta:
+                compiled = self._compiled.specialized_rule_plans(rule, params)
+            else:
+                compiled = self._compiled.rule_plans(rule)
             if rule.temporaries:
                 scratch_vocab = self.program.aux_vocabulary.extend(
                     relations=[(d.name, len(d.frame)) for d in rule.temporaries]
                 )
-                source = self.structure.expand(scratch_vocab)
+                # the delta path borrows the live relations into the scratch
+                # expansion (O(1) per relation) instead of copying them; the
+                # scratch only ever *replaces* temporaries, never edits
+                # inherited relations in place, so borrowing is safe
+                source = self.structure.expand(scratch_vocab, borrow=use_delta)
                 scratch_eval = self._make_evaluator(source, params)
                 if compiled is not None:
                     for name, plan in compiled.temporaries:
-                        if hook is None:
-                            rows = scratch_eval.execute(plan)
-                        else:
-                            started = _monotonic_ns()
-                            rows = scratch_eval.execute(plan)
-                            hook("temporary", name, _monotonic_ns() - started)
+                        rows = self._timed_execute(
+                            "temporary", name, lambda: scratch_eval.execute(plan)
+                        )
                         temporary_tuples += len(rows)
                         source.set_relation(name, rows)
                 else:
                     for temp in rule.temporaries:
-                        if hook is None:
-                            rows = scratch_eval.rows(temp.formula, temp.frame)
-                        else:
-                            started = _monotonic_ns()
-                            rows = scratch_eval.rows(temp.formula, temp.frame)
-                            hook("temporary", temp.name, _monotonic_ns() - started)
+                        rows = self._timed_execute(
+                            "temporary",
+                            temp.name,
+                            lambda: scratch_eval.rows(temp.formula, temp.frame),
+                        )
                         temporary_tuples += len(rows)
                         source.set_relation(temp.name, rows)
             evaluator = self._make_evaluator(source, params)
             new_relations: dict[str, set[tuple[int, ...]]] = {}
             if compiled is not None:
                 for name, plan in compiled.definitions:
-                    if hook is None:
-                        new_relations[name] = evaluator.execute(plan)
-                    else:
-                        started = _monotonic_ns()
-                        new_relations[name] = evaluator.execute(plan)
-                        hook("definition", name, _monotonic_ns() - started)
+                    new_relations[name] = self._timed_execute(
+                        "definition", name, lambda: evaluator.execute(plan)
+                    )
             else:
                 for definition in rule.definitions:
-                    if hook is None:
-                        new_relations[definition.name] = evaluator.rows(
-                            definition.formula, definition.frame
-                        )
-                    else:
-                        started = _monotonic_ns()
-                        new_relations[definition.name] = evaluator.rows(
-                            definition.formula, definition.frame
-                        )
-                        hook("definition", definition.name, _monotonic_ns() - started)
+                    new_relations[definition.name] = self._timed_execute(
+                        "definition",
+                        definition.name,
+                        lambda: evaluator.rows(definition.formula, definition.frame),
+                    )
         except EngineError:
             raise
         except Exception as error:
@@ -264,9 +302,35 @@ class DynFOEngine:
             ) from error
         batch = self.structure.begin_batch()
         defined = rule.defined_names()
+        tuples_added = 0
+        tuples_removed = 0
         try:
-            for name, rows in new_relations.items():
-                batch.set_relation(name, rows)
+            if use_delta:
+                # differential staging: stage only the symmetric difference
+                # between the freshly evaluated relation and the current one,
+                # so the batch (and any journaled effects) carry the delta
+                # and only delta tuples pay re-validation
+                # our own plan evaluators only emit in-arity, in-universe
+                # rows, so their deltas skip per-tuple re-validation; rows
+                # from custom callable backends are checked as always
+                trusted = compiled is not None
+                for name, rows in new_relations.items():
+                    current = self.structure.relation_view(name)
+                    added = rows - current
+                    removed = current - rows
+                    if trusted:
+                        batch.stage_edits_trusted("add", name, sorted(added))
+                        batch.stage_edits_trusted("discard", name, sorted(removed))
+                    else:
+                        for tup in sorted(added):
+                            batch.add(name, tup)
+                        for tup in sorted(removed):
+                            batch.discard(name, tup)
+                    tuples_added += len(added)
+                    tuples_removed += len(removed)
+            else:
+                for name, rows in new_relations.items():
+                    batch.set_relation(name, rows)
             if mirror is not None and mirror[1] not in defined:
                 # default maintenance of the input relation's auxiliary copy
                 kind, rel, tup = mirror
@@ -292,21 +356,74 @@ class DynFOEngine:
             raise UpdateError(
                 f"staging the update for {request} was rejected: {error}"
             ) from error
+        if not use_delta:
+            # full rewrites touch every tuple of every redefined relation
+            tuples_added = sum(len(rows) for rows in new_relations.values())
+            tuples_removed = sum(
+                len(self.structure.relation_view(name)) for name in new_relations
+            )
         stats = {
             "relations_redefined": len(new_relations),
             "tuples_written": sum(len(rows) for rows in new_relations.values()),
             "temporary_tuples": temporary_tuples,
+            "tuples_added": tuples_added,
+            "tuples_removed": tuples_removed,
         }
         return batch, stats
 
     def _make_evaluator(self, structure: Structure, params: Mapping[str, int]):
         """A backend evaluator over ``structure``, honouring the engine's
-        materialization budget (``max_rows``) on the optimized backends."""
-        if self._use_plans and self.max_rows is not None:
-            if self.backend_name == "relational":
-                return self._backend_factory(structure, params, max_rows=self.max_rows)
-            return self._backend_factory(structure, params, max_cells=self.max_rows)
-        return self._backend_factory(structure, params)
+        materialization budget (``max_rows``) and delta-path acceleration
+        (indexed probes / the relation-tensor cache) on the optimized
+        backends."""
+        if not self._use_plans:
+            return self._backend_factory(structure, params)
+        kwargs: dict = {}
+        if self.backend_name == "relational":
+            if self.max_rows is not None:
+                kwargs["max_rows"] = self.max_rows
+            # --no-delta restores the pre-index full-scan path wholesale
+            kwargs["use_indexes"] = self.use_delta
+        else:
+            if self.max_rows is not None:
+                kwargs["max_cells"] = self.max_rows
+            if self._dense_cache is not None:
+                kwargs["array_cache"] = self._dense_cache
+        return self._backend_factory(structure, params, **kwargs)
+
+    def _dense_cache_prepare(self, batch: BatchUpdate) -> set[str]:
+        """Before commit: drop tensor-cache entries the batch invalidates
+        wholesale or that are already stale, and return the relations whose
+        cached tensor is current and can be patched in place after commit."""
+        cache = self._dense_cache
+        for name in batch.staged_replacements:
+            cache.pop(name, None)
+        patchable: set[str] = set()
+        for _, name, _ in batch.staged_edits:
+            entry = cache.get(name)
+            if entry is None or name in patchable:
+                continue
+            if entry[0] == self.structure.relation_version(name):
+                patchable.add(name)
+            else:
+                cache.pop(name, None)  # stale entry; rebuild lazily instead
+        return patchable
+
+    def _dense_cache_patch(self, batch: BatchUpdate, patchable: set[str]) -> None:
+        """After commit: apply the batch's single-tuple edits to the cached
+        tensors in place (one cell write per delta tuple — the dense
+        backend's slice-write path) and restamp them current."""
+        cache = self._dense_cache
+        for kind, name, tup in batch.staged_edits:
+            if name not in patchable:
+                continue
+            array = cache[name][1]
+            if array.ndim == 0:
+                array[()] = kind == "add"
+            else:
+                array[tup] = kind == "add"
+        for name in patchable:
+            cache[name] = (self.structure.relation_version(name), cache[name][1])
 
     def _stage_basic(self, batch: BatchUpdate, basic: Insert | Delete) -> None:
         """Stage one basic input edit, honouring the program's undirected
@@ -437,7 +554,9 @@ class DynFOEngine:
         return fresh() if callable(fresh) else self._backend_factory
 
     def _replay(self, script, factory) -> "DynFOEngine":
-        clone = DynFOEngine(self.program, self.n, backend=factory)
+        clone = DynFOEngine(
+            self.program, self.n, backend=factory, use_delta=self.use_delta
+        )
         clone.structure = self._audit_base.copy()
         for request in script:
             clone.apply(request)
@@ -552,6 +671,62 @@ class DynFOEngine:
         if self._compiled is None:
             return {"hits": 0, "misses": 0, "compile_ns": 0}
         return self._compiled.stats()
+
+    def specialized_plan_cache_stats(self) -> dict[str, int]:
+        """Parameter-specialized plan cache counters (``hits``/``misses``/
+        ``specialize_ns``/``entries``) — the delta path's per-(rule, param
+        values) cache, kept separate from :meth:`plan_cache_stats` whose
+        counter semantics are pinned.  All zeros off the optimized backends
+        or with ``use_delta=False`` (nothing specializes there)."""
+        if self._compiled is None:
+            return {"hits": 0, "misses": 0, "specialize_ns": 0, "entries": 0}
+        return self._compiled.specialized_stats()
+
+    def specialized_plans_for(self, request: Request):
+        """The plans an accepted ``request`` would execute, without applying
+        it: ``(rule, params, compiled)`` where ``compiled`` is the
+        parameter-specialized :class:`~.program.CompiledRule` on the delta
+        path, or ``None`` off it (generic plans apply).  Used by the slowlog
+        and ``repro explain --params`` to render what actually ran."""
+        rule, params, _ = self._dispatch(request)
+        if self._compiled is None or not self.use_delta:
+            return rule, params, None
+        return rule, params, self._compiled.specialized_rule_plans(rule, params)
+
+    def apply_effects(self, request: Request, effects: Mapping) -> None:
+        """Replay a journaled effect record physically: validate the request
+        shape, apply the recorded state transition directly (no formula
+        evaluation), and advance the request counter — the fast path
+        :func:`~.journal.recover` takes when the journal carries effects.
+        The transition is exactly what :meth:`apply` committed when the
+        record was written, so physical and logical replay agree."""
+        self._dispatch(request)  # validation only
+        try:
+            self.structure.apply_effects(effects)
+        except StructureError as error:
+            raise UpdateError(
+                f"replaying journaled effects for {request} failed: {error}"
+            ) from error
+        if self._dense_cache is not None:
+            # effect replay bypasses the patch path; entries turn stale and
+            # rebuild lazily on the next evaluation
+            self._dense_cache.clear()
+        self.last_update_stats = {
+            "relations_redefined": len(effects.get("set", {})),
+            "tuples_written": sum(len(rows) for rows in effects.get("set", {}).values()),
+            "temporary_tuples": 0,
+            "tuples_added": sum(
+                1 for kind, _, _ in effects.get("edits", ()) if kind == "add"
+            ),
+            "tuples_removed": sum(
+                1 for kind, _, _ in effects.get("edits", ()) if kind == "discard"
+            ),
+        }
+        self.requests_applied += 1
+        if self.audit_every > 0:
+            self._audit_log.append(request)
+            if self.requests_applied % self.audit_every == 0:
+                self.audit()
 
     def holds_in(self, name: str, *tup: int) -> bool:
         """Membership test against a relational query's result."""

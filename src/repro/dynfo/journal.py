@@ -21,6 +21,17 @@ requests pays one fsync for the whole batch instead of one per request
 is the usual one: never acknowledge a request to its submitter until a
 ``sync()`` covering its append has returned.  ``fsync_count`` /
 ``append_count`` expose how well the amortization is working.
+
+Effect records (PR 5): a journal opened with ``record_effects=True`` asks
+the engine to attach each request's committed state transition —
+:meth:`~repro.logic.structure.BatchUpdate.effects` — under an ``"fx"`` key.
+On the delta path that is the handful of tuples the update actually
+changed, so journal bytes per update scale with the delta rather than with
+|aux|, and :func:`recover` can replay the record *physically* (apply the
+recorded transition, no formula re-evaluation) instead of logically.
+Journals without effects (and mixed journals: any record missing ``"fx"``)
+still recover via logical replay; readers ignore unknown keys, so the two
+formats interoperate both ways.
 """
 
 from __future__ import annotations
@@ -35,31 +46,40 @@ from .persistence import load_engine
 from .program import DynFOProgram
 from .requests import Request, request_from_item, request_to_item
 
-__all__ = ["RequestJournal", "read_journal", "recover"]
+__all__ = ["RequestJournal", "read_journal", "read_journal_entries", "recover"]
 
 
 class RequestJournal:
     """Append-only, fsync'd request log attached to a running engine."""
 
-    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+    def __init__(
+        self, path: str | Path, fsync: bool = True, record_effects: bool = False
+    ) -> None:
         self.path = Path(path)
         self._fsync = fsync
+        #: ask the engine to attach committed effects to every append; read
+        #: by DynFOEngine.apply before it calls append()
+        self.record_effects = record_effects
         self._fh = open(self.path, "a", encoding="utf-8")
         self.append_count = 0
         self.fsync_count = 0
+        self.bytes_written = 0
 
-    def append(self, seq: int, request: Request) -> None:
+    def append(self, seq: int, request: Request, effects: dict | None = None) -> None:
         """Record that request ``seq`` was accepted; durable immediately
         under the default per-append fsync policy, at the next :meth:`sync`
-        otherwise."""
+        otherwise.  ``effects`` (when given) rides along under ``"fx"`` —
+        the committed state transition, enabling physical replay."""
         if self._fh.closed:
             raise JournalError(f"journal {self.path} is closed")
-        line = json.dumps(
-            {"seq": seq, "req": request_to_item(request)}, separators=(",", ":")
-        )
+        item: dict = {"seq": seq, "req": request_to_item(request)}
+        if effects is not None:
+            item["fx"] = effects
+        line = json.dumps(item, separators=(",", ":"))
         self._fh.write(line + "\n")
         self._fh.flush()
         self.append_count += 1
+        self.bytes_written += len(line) + 1
         if self._fsync:
             os.fsync(self._fh.fileno())
             self.fsync_count += 1
@@ -89,8 +109,12 @@ class RequestJournal:
         self.close()
 
 
-def read_journal(path: str | Path) -> list[tuple[int, Request]]:
-    """All (seq, request) entries in the journal at ``path``.
+def read_journal_entries(
+    path: str | Path,
+) -> list[tuple[int, Request, dict | None]]:
+    """All (seq, request, effects) entries in the journal at ``path``;
+    ``effects`` is the record's ``"fx"`` payload, or ``None`` for plain
+    request-only records.
 
     A torn final line — the signature of a crash mid-append — is dropped;
     an undecodable line anywhere else raises :class:`JournalError`.
@@ -99,13 +123,19 @@ def read_journal(path: str | Path) -> list[tuple[int, Request]]:
     if not path.exists():
         return []
     lines = path.read_text(encoding="utf-8").split("\n")
-    entries: list[tuple[int, Request]] = []
+    entries: list[tuple[int, Request, dict | None]] = []
     for index, line in enumerate(lines):
         if not line.strip():
             continue
         try:
             item = json.loads(line)
-            entries.append((int(item["seq"]), request_from_item(item["req"])))
+            entries.append(
+                (
+                    int(item["seq"]),
+                    request_from_item(item["req"]),
+                    item.get("fx"),
+                )
+            )
         except (ValueError, KeyError, TypeError) as error:
             if index >= len(lines) - 2 and all(
                 not later.strip() for later in lines[index + 1 :]
@@ -117,6 +147,12 @@ def read_journal(path: str | Path) -> list[tuple[int, Request]]:
     return entries
 
 
+def read_journal(path: str | Path) -> list[tuple[int, Request]]:
+    """All (seq, request) entries in the journal at ``path`` (effect
+    payloads, when present, are dropped — see :func:`read_journal_entries`)."""
+    return [(seq, request) for seq, request, _ in read_journal_entries(path)]
+
+
 def recover(
     program: DynFOProgram,
     journal_path: str | Path,
@@ -126,11 +162,18 @@ def recover(
     backend: str | None = None,
     audit_every: int = 0,
     attach: bool = True,
+    physical: bool = True,
 ) -> DynFOEngine:
     """Rebuild an engine after a crash: restore the snapshot (or the initial
     structure when there is none — ``n`` is then required), replay the
     journal tail past ``requests_applied``, and re-attach the journal so the
-    run continues appending where it left off."""
+    run continues appending where it left off.
+
+    Records carrying effect payloads replay *physically* — the recorded
+    state transition is applied directly, skipping formula evaluation — which
+    both modes produce the same state by construction (the effects are what
+    the original ``apply`` committed).  ``physical=False`` forces logical
+    replay of every record regardless."""
     if snapshot_path is not None and Path(snapshot_path).exists():
         engine = load_engine(program, snapshot_path, backend=backend)
         engine.audit_every = audit_every
@@ -142,7 +185,7 @@ def recover(
         engine = DynFOEngine(
             program, n, backend=backend or "relational", audit_every=audit_every
         )
-    for seq, request in read_journal(journal_path):
+    for seq, request, effects in read_journal_entries(journal_path):
         if seq < engine.requests_applied:
             continue  # already captured by the snapshot
         if seq != engine.requests_applied:
@@ -150,7 +193,10 @@ def recover(
                 f"journal {journal_path} jumps to seq {seq} but the engine "
                 f"has applied {engine.requests_applied} requests"
             )
-        engine.apply(request)
+        if physical and effects is not None:
+            engine.apply_effects(request, effects)
+        else:
+            engine.apply(request)
     if attach:
         engine.attach_journal(RequestJournal(journal_path))
     return engine

@@ -80,10 +80,18 @@ class DenseEvaluator:
         structure: Structure,
         params: Mapping[str, int] | None = None,
         max_cells: int = 200_000_000,
+        array_cache: dict[str, tuple[int, np.ndarray]] | None = None,
     ) -> None:
         self.structure = structure
         self.params = dict(params) if params else {}
         self.max_cells = max_cells
+        # Optional cross-request relation-tensor cache owned by the caller:
+        # name -> (relation_version, array).  Entries are reused only when
+        # the version stamp still matches the structure, so the owner may
+        # keep arrays current in place (the engine's delta path does) or let
+        # stale entries rebuild lazily.  Cached arrays are never mutated by
+        # the evaluator.
+        self.array_cache = array_cache
         self._relation_arrays: dict[str, np.ndarray] = {}
         # id-keyed per-node memo; the node is pinned so its id stays valid
         self._results: dict[int, tuple[Plan, np.ndarray]] = {}
@@ -139,6 +147,13 @@ class DenseEvaluator:
         cached = self._relation_arrays.get(name)
         if cached is not None:
             return cached
+        version = None
+        if self.array_cache is not None:
+            version = self.structure.relation_version(name)
+            entry = self.array_cache.get(name)
+            if entry is not None and entry[0] == version:
+                self._relation_arrays[name] = entry[1]
+                return entry[1]
         n = self.structure.n
         arity = self.structure.vocabulary.arity(name)
         array = np.zeros((n,) * arity, dtype=bool)
@@ -150,6 +165,8 @@ class DenseEvaluator:
                 idx = np.array(sorted(rows), dtype=np.intp)
                 array[tuple(idx[:, i] for i in range(arity))] = True
         self._relation_arrays[name] = array
+        if self.array_cache is not None:
+            self.array_cache[name] = (version, array)
         return array
 
     # -- plan execution ---------------------------------------------------------

@@ -24,6 +24,7 @@ enumeration on the update formulas of the paper.
 from __future__ import annotations
 
 import itertools
+import operator
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -59,6 +60,25 @@ _COMPARE_TESTS = {
     "lt": lambda a, b: a < b,
     "bit": lambda a, b: bool((a >> b) & 1),
 }
+
+# A CompareScan's row set depends only on the operator, the fixed side's
+# value (if any), and n — never on relation data — so the delta-path
+# evaluator shares the materialized sets process-wide instead of rebuilding
+# an O(n^2) set per evaluation.  Entries are read-only by convention: every
+# consumer of Relation.rows in this module only reads, and execute() copies
+# at the boundary.
+_COMPARE_ROWS_CACHE: dict[tuple, set[tuple[int, ...]]] = {}
+
+
+def _tuple_getter(positions: tuple[int, ...]):
+    """Row projector always returning a tuple (itemgetter returns a bare
+    value for a single position, and rejects zero positions)."""
+    if len(positions) == 1:
+        single = positions[0]
+        return lambda row: (row[single],)
+    if not positions:
+        return lambda row: ()
+    return operator.itemgetter(*positions)
 
 
 @dataclass
@@ -133,10 +153,14 @@ class RelationalEvaluator:
         params: Mapping[str, int] | None = None,
         max_rows: int = DEFAULT_MAX_ROWS,
         trace: list | None = None,
+        use_indexes: bool = True,
     ) -> None:
         self.structure = structure
         self.params = dict(params) if params else {}
         self.max_rows = max_rows
+        # probe Structure hash indexes for atoms with fixed columns instead
+        # of scanning; False restores the pre-delta full-scan path
+        self.use_indexes = use_indexes
         # optional plan trace: (depth, event, columns, rows) tuples appended
         # as the executor works — see repro.logic.explain
         self.trace = trace
@@ -222,6 +246,11 @@ class RelationalEvaluator:
             return self._exec_filter(plan)
         if isinstance(plan, Project):
             source = self._exec(plan.source)
+            if self.use_indexes:
+                project = _tuple_getter(tuple(plan.positions))
+                return Relation(
+                    plan.columns, {project(row) for row in source.rows}
+                )
             return Relation(
                 plan.columns,
                 {tuple(row[p] for p in plan.positions) for row in source.rows},
@@ -255,7 +284,20 @@ class RelationalEvaluator:
             # fully ground atom: O(1) membership instead of a full scan
             probe = tuple(value for _, value in sorted(fixed))
             return Relation.unit() if probe in view else Relation.empty()
-        out_rows: set[tuple[int, ...]] = set()
+        if self.use_indexes:
+            if fixed:
+                # indexed probe: O(matches) via the structure's hash index on
+                # the fixed column positions instead of an O(|rel|) scan
+                positions = tuple(pos for pos, _ in fixed)
+                key = tuple(value for _, value in fixed)
+                bucket = self.structure.index_on(plan.rel, positions).get(key)
+                if not bucket:
+                    return Relation.empty(plan.columns)
+                return Relation(plan.columns, self._scan_project(bucket, plan))
+            # no fixed columns to index on (permuted or repeated variables):
+            # same full scan as the generic path below, tighter loop
+            return Relation(plan.columns, self._scan_project(view, plan))
+        out_rows = set()
         for row in view:
             if any(row[pos] != value for pos, value in fixed):
                 continue
@@ -269,6 +311,26 @@ class RelationalEvaluator:
                 out_rows.add(tuple(row[pos[0]] for _, pos in plan.var_cols))
         return Relation(plan.columns, out_rows)
 
+    @staticmethod
+    def _scan_project(rows, plan: AtomScan) -> set[tuple[int, ...]]:
+        """Project ``rows`` (full-arity tuples of ``plan.rel``) onto the
+        plan's output columns, enforcing repeated-variable agreement.  The
+        delta-path scan kernel: one pass, precompiled projector, and the
+        overwhelmingly common repeated-variable shape (one pair) gets a
+        direct comparison instead of generic group machinery."""
+        project = _tuple_getter(tuple(pos[0] for _, pos in plan.var_cols))
+        groups = [pos for _, pos in plan.var_cols if len(pos) > 1]
+        if not groups:
+            return {project(row) for row in rows}
+        if len(groups) == 1 and len(groups[0]) == 2:
+            first, second = groups[0]
+            return {project(row) for row in rows if row[first] == row[second]}
+        return {
+            project(row)
+            for row in rows
+            if all(row[g[0]] == row[p] for g in groups for p in g[1:])
+        }
+
     def _exec_compare(self, plan: CompareScan) -> Relation:
         test = _COMPARE_TESTS[plan.op]
         universe = self.structure.universe
@@ -279,16 +341,48 @@ class RelationalEvaluator:
             return Relation.unit() if test(lval, rval) else Relation.empty()
         if not left_var:
             lval = self._value(plan.left)
-            return Relation(plan.columns, {(b,) for b in universe if test(lval, b)})
+            return Relation(
+                plan.columns,
+                self._compare_rows(
+                    ("l", plan.op, lval),
+                    lambda: {(b,) for b in universe if test(lval, b)},
+                ),
+            )
         if not right_var:
             rval = self._value(plan.right)
-            return Relation(plan.columns, {(a,) for a in universe if test(a, rval)})
+            return Relation(
+                plan.columns,
+                self._compare_rows(
+                    ("r", plan.op, rval),
+                    lambda: {(a,) for a in universe if test(a, rval)},
+                ),
+            )
         if len(plan.columns) == 1:  # same variable on both sides
-            return Relation(plan.columns, {(a,) for a in universe if test(a, a)})
+            return Relation(
+                plan.columns,
+                self._compare_rows(
+                    ("s", plan.op),
+                    lambda: {(a,) for a in universe if test(a, a)},
+                ),
+            )
         return Relation(
             plan.columns,
-            {(a, b) for a in universe for b in universe if test(a, b)},
+            self._compare_rows(
+                ("2", plan.op),
+                lambda: {(a, b) for a in universe for b in universe if test(a, b)},
+            ),
         )
+
+    def _compare_rows(self, key: tuple, build) -> set[tuple[int, ...]]:
+        """Comparison row sets via the process-wide cache (delta path only;
+        the ``--no-delta`` evaluator rebuilds them, the PR-4 behavior)."""
+        if not self.use_indexes:
+            return build()
+        key = key + (self.structure.n,)
+        rows = _COMPARE_ROWS_CACHE.get(key)
+        if rows is None:
+            rows = _COMPARE_ROWS_CACHE[key] = build()
+        return rows
 
     # -- compound nodes ---------------------------------------------------------
 
@@ -296,10 +390,89 @@ class RelationalEvaluator:
         left = self._exec(plan.left)
         if not left.rows:
             return Relation.empty(plan.columns)
-        joined = left.join(self._exec(plan.right))
+        right = self._exec(plan.right)
+        if self.use_indexes:
+            # semijoin fast path (delta-path only): when one side's columns
+            # are a subset of the other's, the join is a membership filter —
+            # no hash index to build, and the surviving rows are reused
+            # rather than rebuilt.  Typical shape: a comparison predicate
+            # (x <= y) or a param-bound atom joined against a wide relation.
+            semi = self._semijoin(left, right) or self._semijoin(right, left)
+            if semi is not None:
+                if semi.vars != plan.columns:
+                    semi = semi.project(plan.columns)
+                return semi
+            return self._fused_join(left, right, plan.columns)
+        joined = left.join(right)
         if joined.vars != plan.columns:  # join ordered by the smaller side
             joined = joined.project(plan.columns)
         return joined
+
+    @staticmethod
+    def _fused_join(
+        left: Relation, right: Relation, columns: tuple[str, ...]
+    ) -> Relation:
+        """Hash join emitting ``columns`` directly (delta path): the build
+        side's payload is projected once while indexing, and each output row
+        is shaped in the same pass — no intermediate relation, no second
+        projection sweep."""
+        shared = [v for v in left.vars if v in right.vars]
+        build, probe = (
+            (left, right) if len(left.rows) <= len(right.rows) else (right, left)
+        )
+        extra_pos = tuple(i for i, v in enumerate(build.vars) if v not in probe.vars)
+        combined = probe.vars + tuple(build.vars[i] for i in extra_pos)
+        out_pos = tuple(combined.index(c) for c in columns)
+        identity = out_pos == tuple(range(len(combined)))
+        shape = _tuple_getter(out_pos)
+        # extras are never empty: a build side fully inside the probe's
+        # columns is a semijoin, handled before we get here
+        extras = _tuple_getter(extra_pos)
+        rows: set[tuple[int, ...]] = set()
+        if not shared:  # cross product
+            for prow in probe.rows:
+                for brow in build.rows:
+                    row = prow + extras(brow)
+                    rows.add(row if identity else shape(row))
+            return Relation(columns, rows)
+        # scalar keys when one column is shared (cheaper to hash); both
+        # sides use the same key shape, so lookups agree
+        build_key = operator.itemgetter(*(build.vars.index(v) for v in shared))
+        probe_key = operator.itemgetter(*(probe.vars.index(v) for v in shared))
+        index: dict = {}
+        setdefault = index.setdefault
+        for row in build.rows:
+            setdefault(build_key(row), []).append(extras(row))
+        get = index.get
+        for prow in probe.rows:
+            matches = get(probe_key(prow))
+            if not matches:
+                continue
+            if identity:
+                for extra in matches:
+                    rows.add(prow + extra)
+            else:
+                for extra in matches:
+                    rows.add(shape(prow + extra))
+        return Relation(columns, rows)
+
+    @staticmethod
+    def _semijoin(wide: Relation, narrow: Relation) -> Relation | None:
+        """``wide`` filtered to rows whose ``narrow``-columns projection is
+        in ``narrow``; None when ``narrow``'s columns aren't a subset."""
+        if not set(narrow.vars) <= set(wide.vars):
+            return None
+        if not narrow.vars:  # nullary: non-empty means keep everything
+            return wide if narrow.rows else Relation.empty(wide.vars)
+        positions = tuple(wide.vars.index(v) for v in narrow.vars)
+        allowed = narrow.rows
+        if len(positions) == 1:
+            single = positions[0]
+            rows = {row for row in wide.rows if (row[single],) in allowed}
+        else:
+            project = operator.itemgetter(*positions)
+            rows = {row for row in wide.rows if project(row) in allowed}
+        return Relation(wide.vars, rows)
 
     def _exec_filter(self, plan: Filter) -> Relation:
         source = self._exec(plan.source)

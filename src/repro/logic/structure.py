@@ -14,6 +14,7 @@ every mutator validates its arguments, and :meth:`Structure.copy` /
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -26,10 +27,17 @@ class StructureError(ValueError):
     """Raised on out-of-universe elements or unknown symbols."""
 
 
+# Version stamps are drawn from one process-wide counter so that a stamp is
+# globally unique per relation *state*: equal stamps imply the underlying row
+# set has not been mutated since, even across borrowed expansions that share
+# row sets with their base structure (see :meth:`Structure.expand`).
+_VERSION_COUNTER = itertools.count(1)
+
+
 class Structure:
     """A finite structure over a fixed vocabulary and universe size ``n``."""
 
-    __slots__ = ("vocabulary", "n", "_relations", "_constants")
+    __slots__ = ("vocabulary", "n", "_relations", "_constants", "_indexes", "_versions")
 
     def __init__(
         self,
@@ -49,6 +57,14 @@ class Structure:
         self._constants: dict[str, int] = {
             name: 0 for name in vocabulary.constant_names()
         }
+        # Hash indexes: relation name -> column positions -> key -> row set.
+        # Built lazily by index_on(), maintained incrementally by add/discard
+        # (and batch edits), dropped wholesale by set_relation.
+        self._indexes: dict[
+            str, dict[tuple[int, ...], dict[tuple[int, ...], set[tuple[int, ...]]]]
+        ] = {}
+        # Lazily-stamped per-relation version counters (see relation_version).
+        self._versions: dict[str, int] = {}
         if relations:
             for name, tuples in relations.items():
                 for tup in tuples:
@@ -99,16 +115,81 @@ class Structure:
         return tuple(tup) in self.relation_view(name)
 
     def add(self, name: str, tup: tuple[int, ...]) -> None:
-        self._relations[name].add(self._check_tuple(name, tup))
+        self._apply_add(name, self._check_tuple(name, tup))
 
     def discard(self, name: str, tup: tuple[int, ...]) -> None:
-        self._relations[name].discard(self._check_tuple(name, tup))
+        self._apply_discard(name, self._check_tuple(name, tup))
 
     def set_relation(self, name: str, tuples: Iterable[tuple[int, ...]]) -> None:
         """Replace the whole interpretation of ``name``."""
         checked = {self._check_tuple(name, tuple(tup)) for tup in tuples}
         self.relation_view(name)  # raises on unknown name
         self._relations[name] = checked
+        self._indexes.pop(name, None)
+        self._versions[name] = next(_VERSION_COUNTER)
+
+    # -- incremental mutation internals (validation already done) -----------
+
+    def _apply_add(self, name: str, tup: tuple[int, ...]) -> None:
+        rows = self._relations[name]
+        if tup in rows:
+            return
+        rows.add(tup)
+        for positions, buckets in self._indexes.get(name, {}).items():
+            buckets.setdefault(tuple(tup[p] for p in positions), set()).add(tup)
+        self._versions[name] = next(_VERSION_COUNTER)
+
+    def _apply_discard(self, name: str, tup: tuple[int, ...]) -> None:
+        rows = self._relations[name]
+        if tup not in rows:
+            return
+        rows.discard(tup)
+        for positions, buckets in self._indexes.get(name, {}).items():
+            key = tuple(tup[p] for p in positions)
+            bucket = buckets.get(key)
+            if bucket is not None:
+                bucket.discard(tup)
+                if not bucket:
+                    del buckets[key]
+        self._versions[name] = next(_VERSION_COUNTER)
+
+    # -- hash indexes and version stamps ------------------------------------
+
+    def relation_version(self, name: str) -> int:
+        """Monotone stamp bumped on every effective mutation of ``name``.
+
+        Equal stamps guarantee the relation's row set is unchanged, even
+        across :meth:`expand` with ``borrow=True`` (stamps are shared along
+        with the row sets there).  Used by evaluator-side caches (e.g. the
+        dense backend's array cache) to validate reuse.
+        """
+        version = self._versions.get(name)
+        if version is None:
+            self.relation_view(name)  # raises on unknown name
+            version = self._versions[name] = next(_VERSION_COUNTER)
+        return version
+
+    def index_on(
+        self, name: str, positions: tuple[int, ...]
+    ) -> dict[tuple[int, ...], set[tuple[int, ...]]]:
+        """Hash index over ``name`` keyed by the given column positions.
+
+        Built lazily on first probe (one pass over the relation), then kept
+        consistent incrementally by :meth:`add`/:meth:`discard` and by batch
+        edits; :meth:`set_relation` invalidates every index on the relation.
+        Callers must treat the returned buckets as read-only.
+        """
+        positions = tuple(positions)
+        rows = self.relation_view(name)
+        per_relation = self._indexes.setdefault(name, {})
+        index = per_relation.get(positions)
+        if index is None:
+            index = {}
+            for tup in rows:
+                key = tuple(tup[p] for p in positions)
+                index.setdefault(key, set()).add(tup)
+            per_relation[positions] = index
+        return index
 
     def cardinality(self, name: str) -> int:
         return len(self.relation_view(name))
@@ -167,13 +248,33 @@ class Structure:
         vocabulary: Vocabulary,
         relations: Mapping[str, Iterable[tuple[int, ...]]] | None = None,
         constants: Mapping[str, int] | None = None,
+        *,
+        borrow: bool = False,
     ) -> "Structure":
-        """Expand to a larger vocabulary; new symbols start empty/0 unless given."""
+        """Expand to a larger vocabulary; new symbols start empty/0 unless given.
+
+        With ``borrow=True`` the expansion *shares* the base structure's row
+        sets, hash indexes, and version stamps instead of copying them (an
+        O(1) view per inherited relation rather than O(|rows|)).  A borrowed
+        expansion is a read-only view of the inherited relations: replacing a
+        symbol wholesale via :meth:`set_relation` is safe (it rebinds, never
+        mutates, the shared set), but :meth:`add`/:meth:`discard` on an
+        inherited symbol would silently mutate the base and must not be used.
+        The engine uses this for its per-request scratch structures.
+        """
         out = Structure(vocabulary, self.n)
-        for rel in self.vocabulary:
-            out.set_relation(rel.name, self._relations[rel.name])
-        for name in self.vocabulary.constant_names():
-            out.set_constant(name, self.constant(name))
+        if borrow:
+            for rel in self.vocabulary:
+                out._relations[rel.name] = self._relations[rel.name]
+            out._indexes = self._indexes
+            out._versions = self._versions
+            for name in self.vocabulary.constant_names():
+                out._constants[name] = self._constants[name]
+        else:
+            for rel in self.vocabulary:
+                out.set_relation(rel.name, self._relations[rel.name])
+            for name in self.vocabulary.constant_names():
+                out.set_constant(name, self.constant(name))
         if relations:
             for name, tuples in relations.items():
                 out.set_relation(name, tuples)
@@ -181,6 +282,23 @@ class Structure:
             for name, value in constants.items():
                 out.set_constant(name, value)
         return out
+
+    def apply_effects(self, fx: Mapping) -> None:
+        """Replay a :meth:`BatchUpdate.effects` record: stage every recorded
+        edit (re-validating against this structure) and commit atomically."""
+        batch = self.begin_batch()
+        for name, rows in fx.get("set", {}).items():
+            batch.set_relation(name, (tuple(tup) for tup in rows))
+        for kind, name, tup in fx.get("edits", ()):
+            if kind == "add":
+                batch.add(name, tuple(tup))
+            elif kind == "discard":
+                batch.discard(name, tuple(tup))
+            else:
+                raise StructureError(f"unknown effect edit kind {kind!r}")
+        for name, value in fx.get("const", {}).items():
+            batch.set_constant(name, value)
+        batch.commit()
 
     def begin_batch(self) -> "BatchUpdate":
         """Start a staged, all-or-nothing batch of edits (see
@@ -270,6 +388,21 @@ class BatchUpdate:
         """Stage a single-tuple removal."""
         self._edits.append(("discard", name, self._structure._check_tuple(name, tup)))
 
+    def stage_edits_trusted(
+        self, kind: str, name: str, tuples: Iterable[tuple[int, ...]]
+    ) -> None:
+        """Stage pre-validated edits without per-tuple checks.
+
+        Internal fast path for delta staging: the engine's definition deltas
+        are evaluator outputs, whose rows are guaranteed to be in-arity and
+        in-universe already (they come from relation rows, the universe
+        range, or bounds-checked constant binds)."""
+        if kind not in ("add", "discard"):
+            raise StructureError(f"unknown edit kind {kind!r}")
+        edits = self._edits
+        for tup in tuples:
+            edits.append((kind, name, tup))
+
     def set_constant(self, name: str, value: int) -> None:
         """Stage a constant write."""
         structure = self._structure
@@ -279,20 +412,54 @@ class BatchUpdate:
 
     def commit(self) -> None:
         """Apply every staged edit.  Infallible by construction; a batch
-        commits at most once."""
+        commits at most once.  Whole-relation replacements drop that
+        relation's hash indexes; single-tuple edits maintain them in place."""
         if self._committed:
             raise StructureError("batch already committed")
         self._committed = True
         structure = self._structure
         for name, rows in self._relations.items():
             structure._relations[name] = rows
+            structure._indexes.pop(name, None)
+            structure._versions[name] = next(_VERSION_COUNTER)
         for kind, name, tup in self._edits:
             if kind == "add":
-                structure._relations[name].add(tup)
+                structure._apply_add(name, tup)
             else:
-                structure._relations[name].discard(tup)
+                structure._apply_discard(name, tup)
         for name, value in self._constants.items():
             structure._constants[name] = value
+
+    @property
+    def staged_replacements(self) -> dict[str, set[tuple[int, ...]]]:
+        """The whole-relation replacements staged so far (read-only view)."""
+        return self._relations
+
+    @property
+    def staged_edits(self) -> list[tuple[str, str, tuple[int, ...]]]:
+        """The single-tuple edits staged so far, in staging order
+        (``(kind, relation, tuple)`` with kind ``"add"``/``"discard"``)."""
+        return self._edits
+
+    def effects(self) -> dict:
+        """JSON-serializable description of exactly what :meth:`commit` will
+        do, in commit order: whole-relation replacements under ``"set"``,
+        single-tuple edits (staging order) under ``"edits"``, constant writes
+        under ``"const"``.  Empty sections are omitted, so a delta-staged
+        batch serializes to a few tuples while a full-rewrite batch carries
+        whole relations.  Replayable via :meth:`Structure.apply_effects`.
+        """
+        fx: dict = {}
+        if self._relations:
+            fx["set"] = {
+                name: sorted(list(tup) for tup in rows)
+                for name, rows in self._relations.items()
+            }
+        if self._edits:
+            fx["edits"] = [[kind, name, list(tup)] for kind, name, tup in self._edits]
+        if self._constants:
+            fx["const"] = dict(self._constants)
+        return fx
 
 
 @dataclass(frozen=True)

@@ -290,6 +290,9 @@ class Scheduler:
         if outcome.error is not None:
             return False
         outcome.stats = engine.last_update_stats
+        # delta sizes on the span: how many tuples the update actually moved
+        span.meta["tuples_added"] = outcome.stats.get("tuples_added", 0)
+        span.meta["tuples_removed"] = outcome.stats.get("tuples_removed", 0)
         return True
 
     def _commit_batch(self, session: Session, batch: list[WriteOutcome]) -> None:

@@ -183,6 +183,20 @@ class DynFOService:
                     return None
                 parts = render_definitions(f"{request} [temp]", rule.temporaries)
                 parts += render_definitions(str(request), rule.definitions)
+                # on the delta path, also dump the parameter-specialized
+                # plans that actually executed — the generic plan alone can
+                # hide why a specific binding was slow
+                _, _, specialized = session.engine.specialized_plans_for(request)
+                if specialized is not None:
+                    for name, plan in specialized.temporaries:
+                        parts.append(
+                            f"{request} [specialized temp] :: {name}\n"
+                            f"{render_plan(plan)}"
+                        )
+                    for name, plan in specialized.definitions:
+                        parts.append(
+                            f"{request} [specialized] :: {name}\n{render_plan(plan)}"
+                        )
                 return "\n".join(parts)
         except Exception:  # pragma: no cover - diagnostics must not raise
             return None

@@ -147,13 +147,16 @@ class Session:
             "durable": self.directory is not None,
             "recovered": self.recovered,
             "poisoned": self.poisoned,
+            "use_delta": self.engine.use_delta,
             "plan_cache": self.engine.plan_cache_stats(),
+            "specialized_plan_cache": self.engine.specialized_plan_cache_stats(),
         }
         journal = self.journal
         if journal is not None:
             info["journal"] = {
                 "appends": journal.append_count,
                 "fsyncs": journal.fsync_count,
+                "bytes_written": journal.bytes_written,
             }
         info.update(self.metrics.snapshot())
         return info
@@ -324,8 +327,13 @@ class SessionManager:
             directory.mkdir(parents=True, exist_ok=True)
             meta = {"program": program, "n": n, "backend": backend_name}
             (directory / "meta.json").write_text(json.dumps(meta))
+            # record_effects: journal lines carry the committed delta, so
+            # bytes/update scale with the delta and reopening replays the
+            # tail physically instead of re-evaluating update formulas
             engine.attach_journal(
-                RequestJournal(directory / "journal.ndjson", fsync=False)
+                RequestJournal(
+                    directory / "journal.ndjson", fsync=False, record_effects=True
+                )
             )
         return Session(name, engine, program, backend_name, directory)
 
@@ -356,7 +364,9 @@ class SessionManager:
             attach=False,
         )
         engine.attach_journal(
-            RequestJournal(directory / "journal.ndjson", fsync=False)
+            RequestJournal(
+                directory / "journal.ndjson", fsync=False, record_effects=True
+            )
         )
         return Session(name, engine, program_name, chosen, directory, recovered=True)
 
